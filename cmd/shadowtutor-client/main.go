@@ -1,0 +1,76 @@
+// Command shadowtutor-client runs the ShadowTutor mobile client
+// (Algorithm 4) over TCP against a shadowtutor-server: it streams a
+// synthetic video, infers every frame on-device with the student, ships
+// sparse key frames, and applies the returned student updates
+// asynchronously.
+//
+// Usage:
+//
+//	shadowtutor-client -connect 127.0.0.1:7607 -stream moving/street -frames 500
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shadowtutor-client: ")
+	var (
+		connect   = flag.String("connect", "127.0.0.1:7607", "server address")
+		stream    = flag.String("stream", "fixed/people", "LVS category (camera/scenery) or named video")
+		frames    = flag.Int("frames", 500, "frames to process")
+		seed      = flag.Int64("seed", 42, "video seed")
+		bandwidth = flag.Float64("bandwidth", 0, "throttle link to this many Mbps (0 = unlimited)")
+		evalIoU   = flag.Bool("eval", true, "measure mIoU against the oracle teacher per frame")
+	)
+	flag.Parse()
+
+	cfg, err := streamConfig(*stream, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := video.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conn, err := transport.Dial(*connect, netsim.Mbps(*bandwidth), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	client := &core.Client{
+		Cfg:     core.DefaultConfig(),
+		Student: nn.NewStudentForWire(),
+	}
+	if *evalIoU {
+		client.EvalTeacher = teacher.NewOracle(1)
+	}
+	log.Printf("streaming %s (%d frames) to %s…", *stream, *frames, *connect)
+	if err := client.Run(conn, gen, *frames); err != nil {
+		log.Fatalf("client failed: %v", err)
+	}
+	r := client.Result
+	log.Printf("done: %d frames in %v (%.2f FPS), %d key frames (%.2f%%), mIoU %.3f",
+		r.Frames, r.Elapsed.Round(1e6), float64(r.Frames)/r.Elapsed.Seconds(),
+		r.KeyFrames, 100*float64(r.KeyFrames)/float64(r.Frames), r.MeanIoU)
+}
+
+func streamConfig(stream string, seed int64) (video.Config, error) {
+	for _, cat := range video.Categories {
+		if cat.String() == stream {
+			return video.CategoryConfig(cat, seed), nil
+		}
+	}
+	return video.NamedVideo(stream, seed)
+}

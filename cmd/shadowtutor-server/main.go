@@ -1,0 +1,79 @@
+// Command shadowtutor-server runs the ShadowTutor server (Algorithm 3) over
+// TCP: it pre-trains (or loads) a student, ships it to each connecting
+// client, then answers key frames with partially distilled student updates.
+//
+// Usage:
+//
+//	shadowtutor-server -listen 127.0.0.1:7607 -partial=true
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shadowtutor-server: ")
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7607", "address to listen on")
+		partial   = flag.Bool("partial", true, "partial distillation (freeze through SB4)")
+		bandwidth = flag.Float64("bandwidth", 0, "throttle link to this many Mbps (0 = unlimited)")
+		threshold = flag.Float64("threshold", 0.8, "student metric THRESHOLD")
+		maxUpd    = flag.Int("max-updates", 8, "MAX_UPDATES per key frame")
+		pretrain  = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
+	)
+	flag.Parse()
+
+	if *pretrain > 0 {
+		os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", flag.Lookup("pretrain").Value.String())
+	}
+	cfg := core.DefaultConfig()
+	cfg.Partial = *partial
+	cfg.Threshold = *threshold
+	cfg.MaxUpdates = *maxUpd
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("pre-training student (one-time cost)…")
+	student, err := experiments.FreshStudentFor(cfg)
+	if err != nil {
+		log.Fatalf("pre-training failed: %v", err)
+	}
+	log.Printf("student ready: %d params, %.1f%% trainable",
+		student.Params.NumParams(), student.Params.TrainableFraction()*100)
+
+	ln, err := transport.Listen(*listen, netsim.Mbps(*bandwidth), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("listening on %s (partial=%v, bandwidth=%v)", ln.Addr(), *partial, *bandwidth)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		go func() {
+			defer conn.Close()
+			// Each session distils its own copy of the checkpoint, as the
+			// paper's server does per stream.
+			srv := core.NewServer(cfg, student.Clone(), teacher.NewOracle(1))
+			if err := srv.Serve(conn); err != nil {
+				log.Printf("session ended with error: %v", err)
+				return
+			}
+			log.Printf("session complete: %d key frames, mean %.2f steps",
+				srv.Distiller.TotalTrains, srv.Distiller.MeanSteps())
+		}()
+	}
+}

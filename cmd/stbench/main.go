@@ -1,0 +1,98 @@
+// Command stbench regenerates every table and figure of the ShadowTutor
+// paper's evaluation section (§6) from this reproduction. By default it
+// runs the full 5000-frame protocol per stream, which takes a while on pure
+// Go; -frames trades fidelity for speed (shapes are stable from a few
+// hundred frames).
+//
+// Usage:
+//
+//	stbench                  # all tables and figures, paper-scale
+//	stbench -frames 600      # quick pass
+//	stbench -table 5         # a single table
+//	stbench -figure 4        # the bandwidth sweep
+//	stbench -bounds          # §4.4/§5.3 analytic bound report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stbench: ")
+	var (
+		frames     = flag.Int("frames", 5000, "frames per stream (paper: 5000)")
+		evalEvery  = flag.Int("eval-every", 1, "accuracy sampling period (1 = paper protocol)")
+		seed       = flag.Int64("seed", 11, "master seed for synthetic streams")
+		table      = flag.Int("table", 0, "regenerate a single table (2-7); 0 = all")
+		figure     = flag.Int("figure", 0, "regenerate a single figure (4); 0 = all")
+		boundsOnly = flag.Bool("bounds", false, "print only the analytic bound report")
+		ablations  = flag.Bool("ablations", false, "run the DESIGN.md ablation suite instead of the paper tables")
+		pretrain   = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
+	)
+	flag.Parse()
+
+	if *pretrain > 0 {
+		os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", fmt.Sprint(*pretrain))
+	}
+	if *boundsOnly {
+		fmt.Println(experiments.BoundsReport())
+		return
+	}
+
+	suite := experiments.NewSuite(experiments.Options{Frames: *frames, EvalEvery: *evalEvery, Seed: *seed})
+	start := time.Now()
+
+	emit := func(t *stats.Table, err error) {
+		if err != nil {
+			log.Fatalf("experiment failed: %v", err)
+		}
+		fmt.Println(t)
+	}
+
+	if *ablations {
+		emit(suite.AblationStride())
+		emit(suite.AblationAsync())
+		emit(suite.AblationFreezePoint())
+		emit(suite.AblationLossWeighting())
+		emit(experiments.AblationCompression())
+		log.Printf("ablations done in %v", time.Since(start).Round(time.Second))
+		return
+	}
+
+	switch {
+	case *table == 2:
+		emit(suite.Table2())
+	case *table == 3:
+		emit(suite.Table3())
+	case *table == 4:
+		emit(experiments.Table4())
+	case *table == 5:
+		emit(suite.Table5())
+	case *table == 6:
+		emit(suite.Table6())
+	case *table == 7:
+		emit(suite.Table7())
+	case *table != 0:
+		log.Fatalf("unknown table %d (have 2-7)", *table)
+	case *figure == 4:
+		_, t, err := suite.Figure4()
+		emit(t, err)
+	case *figure != 0:
+		log.Fatalf("unknown figure %d (have 4)", *figure)
+	default:
+		out, err := suite.WriteAllTables()
+		if err != nil {
+			log.Fatalf("suite failed: %v", err)
+		}
+		fmt.Println(out)
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "ShadowTutor:
+// Distributed Partial Distillation for Mobile Video DNN Inference"
+// (Chung, Kim, Moon — ICPP 2020).
+//
+// The root package holds the benchmark harness (bench_test.go), one
+// benchmark per table and figure of the paper's evaluation section. The
+// implementation lives under internal/ (see DESIGN.md for the inventory),
+// runnable entry points under cmd/ and examples/.
+package repro

@@ -1,0 +1,92 @@
+// Quickstart: run ShadowTutor end to end, in process, on a short synthetic
+// clip. It wires together every public piece — video generator, oracle
+// teacher, pre-trained student, server and client over an in-memory pipe —
+// and prints the per-segment accuracy so you can watch shadow education
+// kick in after the first key frames.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	// Keep the one-time pre-training short for a demo.
+	os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", "220")
+
+	cfg := core.DefaultConfig() // THRESHOLD 0.8, stride 8..64, MAX_UPDATES 8, partial
+	fmt.Println("ShadowTutor quickstart")
+	fmt.Printf("  config: THRESHOLD=%.1f stride=[%d,%d] MAX_UPDATES=%d partial=%v\n",
+		cfg.Threshold, cfg.MinStride, cfg.MaxStride, cfg.MaxUpdates, cfg.Partial)
+
+	// 1. The video: a fixed-camera people scene — the paper's calmest
+	//    category (see examples/streetcam for the most challenging one).
+	gen, err := video.NewGenerator(video.CategoryConfig(
+		video.Category{Camera: video.Fixed, Scenery: video.People}, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The models: a pre-trained ~190k-parameter student and the oracle
+	//    teacher standing in for Mask R-CNN (the exact parameter count is
+	//    printed below).
+	fmt.Println("  pre-training student (one-time cost)…")
+	student, err := experiments.FreshStudentFor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  student: %d params, %.1f%% trainable under partial distillation\n",
+		student.Params.NumParams(), student.Params.TrainableFraction()*100)
+
+	// 3. Server and client connected by an in-memory pipe. The server gets
+	//    its own copy of the checkpoint (Algorithm 3 trains a copy).
+	clientConn, serverConn := transport.Pipe(4, nil)
+	srv := core.NewServer(cfg, student.Clone(), teacher.NewOracle(1))
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(serverConn) }()
+
+	client := &core.Client{
+		Cfg:         cfg,
+		Student:     nn.NewStudentForWire(), // weights arrive from the server
+		EvalTeacher: teacher.NewOracle(1),
+	}
+	const frames = 240 // 8 seconds of 30 FPS video
+	fmt.Printf("  streaming %d frames…\n", frames)
+	if err := client.Run(clientConn, gen, frames); err != nil {
+		log.Fatal(err)
+	}
+	clientConn.Close()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+
+	r := client.Result
+	fmt.Println()
+	fmt.Printf("frames processed : %d\n", r.Frames)
+	fmt.Printf("key frames       : %d (%.1f%% — the other %.1f%% never left the device)\n",
+		r.KeyFrames, 100*float64(r.KeyFrames)/float64(r.Frames),
+		100-100*float64(r.KeyFrames)/float64(r.Frames))
+	fmt.Printf("mean IoU vs teacher: %.3f\n", r.MeanIoU)
+	fmt.Printf("distillation      : %d sessions, mean %.1f steps each\n",
+		srv.Distiller.TotalTrains, srv.Distiller.MeanSteps())
+	if len(r.StrideTrace) > 0 {
+		fmt.Printf("stride trace      : %v\n", formatStrides(r.StrideTrace))
+	}
+}
+
+func formatStrides(s []float64) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[i] = int(v + 0.5)
+	}
+	return out
+}

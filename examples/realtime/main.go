@@ -1,0 +1,69 @@
+// Realtime: the §6.5 feasibility study. Re-sampling every stream to 7 FPS —
+// matching the input rate to ShadowTutor's own throughput — simulates live
+// camera inference, where each consumed frame is 4× further from the last
+// key frame than in the 30 FPS setting. The paper finds accuracy drops by
+// less than 6 points and the key-frame ratio grows by less than 1 point;
+// this example reproduces that comparison on two categories.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/teacher"
+	"repro/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", "150")
+
+	const frames = 900
+	cats := []video.Category{
+		{Camera: video.Fixed, Scenery: video.People},
+		{Camera: video.Moving, Scenery: video.Street},
+	}
+	cfg := core.DefaultConfig()
+
+	fmt.Println("Real-time feasibility: native 30 FPS vs re-sampled 7 FPS")
+	fmt.Printf("%-16s %12s %12s %14s %14s\n",
+		"stream", "mIoU@30FPS", "mIoU@7FPS", "key%@30FPS", "key%@7FPS")
+	for _, cat := range cats {
+		var ious [2]float64
+		var keys [2]float64
+		for i, resample := range []int{1, 4} {
+			gen, err := video.NewGenerator(video.CategoryConfig(cat, 55))
+			if err != nil {
+				log.Fatal(err)
+			}
+			var src video.Source = gen
+			if resample > 1 {
+				src = &video.Resampled{G: gen, Stride: resample}
+			}
+			student, err := experiments.FreshStudentFor(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sc := core.SimConfig{
+				Cfg: cfg, Mode: core.ModeShadowTutor, Frames: frames,
+				Link: netsim.DefaultLink(), Concurrency: core.FullConcurrency,
+				DelayFrames: 1, EvalEvery: 2,
+			}
+			res, err := core.Simulate(sc, src, teacher.NewOracle(1), student)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ious[i] = res.MeanIoU * 100
+			keys[i] = res.KeyFrameRatio() * 100
+		}
+		fmt.Printf("%-16s %12.2f %12.2f %14.2f %14.2f\n",
+			cat.String(), ious[0], ious[1], keys[0], keys[1])
+	}
+	fmt.Println("\nwith 4× sparser frames the student leans harder on each key frame,")
+	fmt.Println("yet accuracy holds within a few points — the temporal-coherence")
+	fmt.Println("margin is wide enough for live camera feeds (§6.5).")
+}

@@ -1,0 +1,79 @@
+// Streetcam: a fixed street-CCTV scenario — the paper's most volatile
+// stream family (southbeach in Figure 4, "fixed/street" in Table 5). This
+// example runs the deterministic simulator rather than a live connection
+// and contrasts ShadowTutor against naive offloading on throughput,
+// traffic, and key-frame ratio, printing a per-minute timeline of how the
+// adaptive stride reacts to scene churn.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/teacher"
+	"repro/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", "150")
+
+	cfg := core.DefaultConfig()
+	const frames = 900 // 30 seconds of CCTV footage
+
+	vcfg, err := video.NamedVideo("southbeach", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := video.NewGenerator(vcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	student, err := experiments.FreshStudentFor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Street CCTV (southbeach-style stream)")
+	sc := core.SimConfig{
+		Cfg:         cfg,
+		Mode:        core.ModeShadowTutor,
+		Frames:      frames,
+		Link:        netsim.DefaultLink(),
+		Concurrency: core.FullConcurrency,
+		EvalEvery:   2,
+	}
+	res, err := core.Simulate(sc, gen, teacher.NewOracle(1), student)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	naiveTime := core.NaiveTime(netsim.DefaultLink(), core.PaperLatencies(true), frames, experiments.NaiveOverhead)
+
+	fmt.Printf("\n%-28s %12s %12s\n", "", "ShadowTutor", "Naive")
+	fmt.Printf("%-28s %12.2f %12.2f\n", "throughput (FPS)", res.FPS(), float64(frames)/naiveTime.Seconds())
+	fmt.Printf("%-28s %12.1f %12.1f\n", "execution time (s)", res.VirtualTime.Seconds(), naiveTime.Seconds())
+	fmt.Printf("%-28s %12.1f %12.1f\n", "key frame ratio (%)", res.KeyFrameRatio()*100, 100.0)
+	naiveBytes := int64(frames) * int64(netsim.HDFrameBytes+netsim.HDNaiveResponseBytes)
+	fmt.Printf("%-28s %12.2f %12.2f\n", "network traffic (Mbps)",
+		res.TrafficMbps(), netsim.TrafficMbps(naiveBytes, naiveTime))
+	fmt.Printf("%-28s %12.3f %12s\n", "mean IoU vs teacher", res.MeanIoU, "1.000")
+
+	fmt.Println("\nkey-frame timeline (stride adapts to street churn):")
+	for i, ev := range res.Schedule {
+		if i >= 12 {
+			fmt.Printf("  … %d more key frames\n", len(res.Schedule)-i)
+			break
+		}
+		stride := "-"
+		if i < len(res.StrideTrace) {
+			stride = fmt.Sprintf("%d", int(res.StrideTrace[i]+0.5))
+		}
+		fmt.Printf("  frame %4d  metric %.2f  steps %d  next stride %s\n",
+			ev.FrameIndex, ev.Metric, ev.Steps, stride)
+	}
+}

@@ -1,0 +1,411 @@
+// Package autodiff implements reverse-mode automatic differentiation over
+// internal/tensor values. A Tape records the forward graph; Backward walks
+// it in reverse. Parameters can be frozen, in which case the backward pass
+// prunes every edge that only feeds frozen leaves — this is the mechanism
+// behind the paper's partial distillation (§4.2): "gradient computation can
+// stop in the middle of the network".
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Variable is a node in the autodiff graph: a value plus (after Backward)
+// its gradient. Leaf variables are parameters or inputs; interior variables
+// are op outputs.
+type Variable struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	tape         *Tape
+	id           int
+	requiresGrad bool
+	backward     func() // propagates v.Grad into input grads; nil for leaves
+}
+
+// RequiresGrad reports whether gradients flow into this variable.
+func (v *Variable) RequiresGrad() bool { return v.requiresGrad }
+
+// Tape records operations for reverse-mode differentiation. It is not safe
+// for concurrent use; each training step builds a fresh tape (or calls
+// Reset).
+type Tape struct {
+	nodes []*Variable
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded nodes, retaining capacity.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded nodes (leaves + ops).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// Leaf registers a value on the tape. requiresGrad=false leaves (e.g. the
+// frozen front of the student, or input frames) block gradient flow.
+func (t *Tape) Leaf(val *tensor.Tensor, requiresGrad bool) *Variable {
+	v := &Variable{Value: val, tape: t, id: len(t.nodes), requiresGrad: requiresGrad}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// Constant registers a value that never receives gradients.
+func (t *Tape) Constant(val *tensor.Tensor) *Variable { return t.Leaf(val, false) }
+
+// node creates an interior variable whose gradient requirement is the OR of
+// its inputs'. Ops with no grad-requiring inputs record no backward closure,
+// so the whole frozen prefix of a network costs nothing at backward time.
+func (t *Tape) node(val *tensor.Tensor, back func(), inputs ...*Variable) *Variable {
+	req := false
+	for _, in := range inputs {
+		if in.tape != t {
+			panic("autodiff: mixing variables from different tapes")
+		}
+		if in.requiresGrad {
+			req = true
+		}
+	}
+	v := &Variable{Value: val, tape: t, id: len(t.nodes), requiresGrad: req}
+	if req {
+		v.backward = back
+	}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// accum adds g into v.Grad, allocating on first use. It is a no-op for
+// variables that do not require gradients — this is the pruning that makes
+// partial backward cheaper than full backward.
+func accum(v *Variable, g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = g.Clone()
+		return
+	}
+	tensor.AxpyInto(v.Grad, 1, g)
+}
+
+// Backward seeds the gradient of root with seed (ones when nil) and
+// propagates through the tape in reverse recording order. Only nodes with
+// id ≤ root.id are visited. It returns the number of op nodes whose
+// backward closure actually ran, which tests use to verify that freezing
+// prunes work.
+func (t *Tape) Backward(root *Variable, seed *tensor.Tensor) int {
+	if root.tape != t {
+		panic("autodiff: Backward on foreign variable")
+	}
+	if !root.requiresGrad {
+		return 0
+	}
+	if seed == nil {
+		seed = tensor.Full(1, root.Value.Shape()...)
+	}
+	if !tensor.ShapeEq(seed.Shape(), root.Value.Shape()) {
+		panic(fmt.Sprintf("autodiff: seed shape %v != root shape %v", seed.Shape(), root.Value.Shape()))
+	}
+	root.Grad = seed.Clone()
+	ran := 0
+	for i := root.id; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+			ran++
+		}
+	}
+	return ran
+}
+
+// ZeroGrads clears the gradients of every node on the tape.
+func (t *Tape) ZeroGrads() {
+	for _, n := range t.nodes {
+		n.Grad = nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ops. Each builds the output value eagerly and registers a closure that
+// pulls the output grad into the inputs.
+// ---------------------------------------------------------------------------
+
+// Add returns a + b.
+func (t *Tape) Add(a, b *Variable) *Variable {
+	out := tensor.Add(a.Value, b.Value)
+	var v *Variable
+	v = t.node(out, func() {
+		accum(a, v.Grad)
+		accum(b, v.Grad)
+	}, a, b)
+	return v
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Variable) *Variable {
+	out := tensor.Sub(a.Value, b.Value)
+	var v *Variable
+	v = t.node(out, func() {
+		accum(a, v.Grad)
+		accum(b, tensor.Scale(v.Grad, -1))
+	}, a, b)
+	return v
+}
+
+// Mul returns the elementwise product a*b.
+func (t *Tape) Mul(a, b *Variable) *Variable {
+	out := tensor.Mul(a.Value, b.Value)
+	var v *Variable
+	v = t.node(out, func() {
+		accum(a, tensor.Mul(v.Grad, b.Value))
+		accum(b, tensor.Mul(v.Grad, a.Value))
+	}, a, b)
+	return v
+}
+
+// Scale returns a*s for scalar s.
+func (t *Tape) Scale(a *Variable, s float32) *Variable {
+	out := tensor.Scale(a.Value, s)
+	var v *Variable
+	v = t.node(out, func() {
+		accum(a, tensor.Scale(v.Grad, s))
+	}, a)
+	return v
+}
+
+// ReLU returns max(a, 0).
+func (t *Tape) ReLU(a *Variable) *Variable {
+	out := tensor.ReLU(a.Value)
+	var v *Variable
+	v = t.node(out, func() {
+		accum(a, tensor.ReLUGrad(a.Value, v.Grad))
+	}, a)
+	return v
+}
+
+// MatMul returns a×b for rank-2 variables.
+func (t *Tape) MatMul(a, b *Variable) *Variable {
+	out := tensor.MatMul(a.Value, b.Value)
+	var v *Variable
+	v = t.node(out, func() {
+		if a.requiresGrad {
+			// dA = gy × Bᵀ
+			accum(a, tensor.MatMulABT(v.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			// dB = Aᵀ × gy
+			accum(b, tensor.MatMulATB(a.Value, v.Grad))
+		}
+	}, a, b)
+	return v
+}
+
+// Conv2D applies a convolution with weight w [OC,C,KH,KW] and optional bias
+// bias (nil allowed) under spec s. When the input x does not require
+// gradients (frozen prefix output), the backward pass skips the expensive
+// col2im input-gradient computation entirely.
+func (t *Tape) Conv2D(x, w, bias *Variable, s tensor.ConvSpec) *Variable {
+	var bt *tensor.Tensor
+	if bias != nil {
+		bt = bias.Value
+	}
+	out := tensor.Conv2D(x.Value, w.Value, bt, s)
+	inputs := []*Variable{x, w}
+	if bias != nil {
+		inputs = append(inputs, bias)
+	}
+	var v *Variable
+	v = t.node(out, func() {
+		dx, dw, db := tensor.Conv2DBackward(x.Value, w.Value, v.Grad, s, x.requiresGrad)
+		if x.requiresGrad {
+			accum(x, dx)
+		}
+		if w.requiresGrad {
+			accum(w, dw)
+		}
+		if bias != nil && bias.requiresGrad {
+			accum(bias, db)
+		}
+	}, inputs...)
+	return v
+}
+
+// Upsample2x doubles spatial dimensions by nearest neighbour.
+func (t *Tape) Upsample2x(a *Variable) *Variable {
+	out := tensor.UpsampleNearest2x(a.Value)
+	var v *Variable
+	v = t.node(out, func() {
+		accum(a, tensor.UpsampleNearest2xBackward(v.Grad))
+	}, a)
+	return v
+}
+
+// AvgPool2x2 halves spatial dimensions by mean pooling.
+func (t *Tape) AvgPool2x2(a *Variable) *Variable {
+	out := tensor.AvgPool2x2(a.Value)
+	var v *Variable
+	v = t.node(out, func() {
+		g := v.Grad
+		c, oh, ow := g.Dim(0), g.Dim(1), g.Dim(2)
+		h, w := a.Value.Dim(1), a.Value.Dim(2)
+		dx := tensor.New(a.Value.Shape()...)
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					gv := g.Data[ch*oh*ow+y*ow+x] * 0.25
+					dx.Data[ch*h*w+(2*y)*w+2*x] = gv
+					dx.Data[ch*h*w+(2*y)*w+2*x+1] = gv
+					dx.Data[ch*h*w+(2*y+1)*w+2*x] = gv
+					dx.Data[ch*h*w+(2*y+1)*w+2*x+1] = gv
+				}
+			}
+		}
+		accum(a, dx)
+	}, a)
+	return v
+}
+
+// Concat stacks CHW variables along channels.
+func (t *Tape) Concat(xs ...*Variable) *Variable {
+	vals := make([]*tensor.Tensor, len(xs))
+	chans := make([]int, len(xs))
+	for i, x := range xs {
+		vals[i] = x.Value
+		chans[i] = x.Value.Dim(0)
+	}
+	out := tensor.Concat(vals...)
+	var v *Variable
+	v = t.node(out, func() {
+		parts := tensor.SplitChannels(v.Grad, chans)
+		for i, x := range xs {
+			accum(x, parts[i])
+		}
+	}, xs...)
+	return v
+}
+
+// BatchNorm applies per-channel normalisation with learnable gamma/beta to a
+// CHW input, using the given running statistics in inference mode or batch
+// statistics in training mode (updating running stats with momentum).
+// The returned closure-backed node differentiates through the batch
+// statistics when training.
+func (t *Tape) BatchNorm(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, training bool, momentum, eps float32) *Variable {
+	c, h, w := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2)
+	hw := h * w
+	mean := make([]float32, c)
+	varc := make([]float32, c)
+	if training {
+		for ch := 0; ch < c; ch++ {
+			seg := x.Value.Data[ch*hw : (ch+1)*hw]
+			var m float64
+			for _, v := range seg {
+				m += float64(v)
+			}
+			m /= float64(hw)
+			var vv float64
+			for _, v := range seg {
+				d := float64(v) - m
+				vv += d * d
+			}
+			vv /= float64(hw)
+			mean[ch] = float32(m)
+			varc[ch] = float32(vv)
+			runMean.Data[ch] = (1-momentum)*runMean.Data[ch] + momentum*mean[ch]
+			runVar.Data[ch] = (1-momentum)*runVar.Data[ch] + momentum*varc[ch]
+		}
+	} else {
+		copy(mean, runMean.Data)
+		copy(varc, runVar.Data)
+	}
+	invStd := make([]float32, c)
+	for ch := 0; ch < c; ch++ {
+		invStd[ch] = 1 / sqrt32(varc[ch]+eps)
+	}
+	xhat := tensor.New(c, h, w)
+	out := tensor.New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		g, b := gamma.Value.Data[ch], beta.Value.Data[ch]
+		m, is := mean[ch], invStd[ch]
+		xs := x.Value.Data[ch*hw : (ch+1)*hw]
+		hs := xhat.Data[ch*hw : (ch+1)*hw]
+		os := out.Data[ch*hw : (ch+1)*hw]
+		for i, v := range xs {
+			xh := (v - m) * is
+			hs[i] = xh
+			os[i] = g*xh + b
+		}
+	}
+	var v *Variable
+	v = t.node(out, func() {
+		gy := v.Grad
+		// dGamma, dBeta
+		if gamma.requiresGrad || beta.requiresGrad {
+			dg := tensor.New(c)
+			db := tensor.New(c)
+			for ch := 0; ch < c; ch++ {
+				gs := gy.Data[ch*hw : (ch+1)*hw]
+				hs := xhat.Data[ch*hw : (ch+1)*hw]
+				var sg, sb float64
+				for i, g := range gs {
+					sg += float64(g) * float64(hs[i])
+					sb += float64(g)
+				}
+				dg.Data[ch] = float32(sg)
+				db.Data[ch] = float32(sb)
+			}
+			accum(gamma, dg)
+			accum(beta, db)
+		}
+		if x.requiresGrad {
+			dx := tensor.New(c, h, w)
+			n := float32(hw)
+			for ch := 0; ch < c; ch++ {
+				g := gamma.Value.Data[ch]
+				is := invStd[ch]
+				gs := gy.Data[ch*hw : (ch+1)*hw]
+				hs := xhat.Data[ch*hw : (ch+1)*hw]
+				ds := dx.Data[ch*hw : (ch+1)*hw]
+				if training {
+					var sumG, sumGX float64
+					for i, gv := range gs {
+						sumG += float64(gv)
+						sumGX += float64(gv) * float64(hs[i])
+					}
+					sg := float32(sumG)
+					sgx := float32(sumGX)
+					for i, gv := range gs {
+						ds[i] = g * is / n * (n*gv - sg - hs[i]*sgx)
+					}
+				} else {
+					for i, gv := range gs {
+						ds[i] = g * is * gv
+					}
+				}
+			}
+			accum(x, dx)
+		}
+	}, x, gamma, beta)
+	return v
+}
+
+// SumScalar reduces a variable to a 1-element tensor holding the sum of all
+// entries. Used as the terminal loss node.
+func (t *Tape) SumScalar(a *Variable) *Variable {
+	out := tensor.FromSlice([]float32{float32(a.Value.Sum())}, 1)
+	var v *Variable
+	v = t.node(out, func() {
+		g := tensor.Full(v.Grad.Data[0], a.Value.Shape()...)
+		accum(a, g)
+	}, a)
+	return v
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}

@@ -1,0 +1,43 @@
+package autodiff
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// NumericGrad estimates d(loss)/d(param) by central finite differences.
+// build must construct the scalar loss from scratch on a fresh tape each
+// call (because values are captured eagerly). param is mutated in place and
+// restored afterwards.
+func NumericGrad(param *tensor.Tensor, build func() float64, eps float64) *tensor.Tensor {
+	g := tensor.New(param.Shape()...)
+	for i := range param.Data {
+		orig := param.Data[i]
+		param.Data[i] = orig + float32(eps)
+		fp := build()
+		param.Data[i] = orig - float32(eps)
+		fm := build()
+		param.Data[i] = orig
+		g.Data[i] = float32((fp - fm) / (2 * eps))
+	}
+	return g
+}
+
+// MaxRelError returns the maximum elementwise relative error between got and
+// want, using max(|got|,|want|,floor) as the denominator. Tests use it to
+// compare analytic and numeric gradients.
+func MaxRelError(got, want *tensor.Tensor, floor float64) float64 {
+	if !got.SameShape(want) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range got.Data {
+		a, b := float64(got.Data[i]), float64(want.Data[i])
+		den := math.Max(math.Max(math.Abs(a), math.Abs(b)), floor)
+		if e := math.Abs(a-b) / den; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,93 @@
+// Package baseline implements the comparison systems of §6: naive
+// offloading (every frame crosses the network and the teacher answers) and
+// the "Wild" student (pre-trained student alone, never distilled). The
+// virtual-time variants live in internal/core's simulator; this package
+// provides the real-connection naive client used by cmd/ and integration
+// tests.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// NaiveClient streams every frame to a core.NaiveServer and collects the
+// returned masks.
+type NaiveClient struct {
+	Result NaiveResult
+}
+
+// NaiveResult summarises a naive-offloading session.
+type NaiveResult struct {
+	Frames  int
+	Elapsed time.Duration
+	// Masks holds the teacher's answer per frame when Retain is set.
+	Masks [][]int32
+}
+
+// Run sends n frames from src and waits for each prediction (the naive
+// scheme is strictly synchronous per frame — that is exactly its weakness
+// under reduced bandwidth, §6.4). retain keeps the returned masks.
+func (c *NaiveClient) Run(conn transport.Conn, src video.Source, n int, retain bool) error {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		frame := src.Next()
+		kf := transport.KeyFrame{FrameIndex: uint32(frame.Index), Image: frame.Image, Label: frame.Label}
+		if err := conn.Send(transport.Message{Type: transport.MsgKeyFrame, Body: transport.EncodeKeyFrame(kf)}); err != nil {
+			return fmt.Errorf("baseline: sending frame %d: %w", i, err)
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("baseline: receiving prediction %d: %w", i, err)
+		}
+		if m.Type != transport.MsgPrediction {
+			return fmt.Errorf("baseline: expected Prediction, got %v", m.Type)
+		}
+		p, err := transport.DecodePrediction(m.Body)
+		if err != nil {
+			return err
+		}
+		if retain {
+			c.Result.Masks = append(c.Result.Masks, p.Mask)
+		}
+	}
+	_ = conn.Send(transport.Message{Type: transport.MsgShutdown})
+	c.Result.Frames = n
+	c.Result.Elapsed = time.Since(start)
+	return nil
+}
+
+// FPS returns measured frames per wall-clock second.
+func (r NaiveResult) FPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.Elapsed.Seconds()
+}
+
+var _ video.Source = (*replaySource)(nil)
+
+// replaySource replays recorded frames; tests use it to feed identical
+// frames to multiple systems.
+type replaySource struct {
+	frames []video.Frame
+	i      int
+}
+
+// NewReplay returns a Source that replays the given frames and panics when
+// exhausted.
+func NewReplay(frames []video.Frame) video.Source {
+	return &replaySource{frames: frames}
+}
+
+func (r *replaySource) Next() video.Frame {
+	if r.i >= len(r.frames) {
+		panic("baseline: replay source exhausted")
+	}
+	f := r.frames[r.i]
+	r.i++
+	return f
+}

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+func frames(t *testing.T, n int) []video.Frame {
+	t.Helper()
+	g, err := video.NewGenerator(video.CategoryConfig(video.Category{Camera: video.Fixed, Scenery: video.Animals}, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]video.Frame, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestReplaySourceOrderAndExhaustion(t *testing.T) {
+	fs := frames(t, 3)
+	src := NewReplay(fs)
+	for i := 0; i < 3; i++ {
+		if got := src.Next(); got.Index != fs[i].Index {
+			t.Fatalf("replay out of order at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted replay must panic")
+		}
+	}()
+	src.Next()
+}
+
+// oracleEcho serves the naive protocol inline for client tests.
+func serveNaive(conn transport.Conn, t *testing.T) chan struct{} {
+	done := make(chan struct{})
+	tch := teacher.NewOracle(2)
+	go func() {
+		defer close(done)
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case transport.MsgShutdown:
+				return
+			case transport.MsgKeyFrame:
+				kf, err := transport.DecodeKeyFrame(m.Body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mask := tch.Infer(video.Frame{Image: kf.Image, Label: kf.Label})
+				conn.Send(transport.Message{
+					Type: transport.MsgPrediction,
+					Body: transport.EncodePrediction(transport.Prediction{FrameIndex: kf.FrameIndex, Mask: mask}),
+				})
+			}
+		}
+	}()
+	return done
+}
+
+func TestNaiveClientRoundTrips(t *testing.T) {
+	fs := frames(t, 10)
+	clientConn, serverConn := transport.Pipe(2, nil)
+	done := serveNaive(serverConn, t)
+
+	c := &NaiveClient{}
+	if err := c.Run(clientConn, NewReplay(fs), len(fs), true); err != nil {
+		t.Fatal(err)
+	}
+	clientConn.Close()
+	<-done
+	if c.Result.Frames != 10 {
+		t.Fatalf("frames %d", c.Result.Frames)
+	}
+	if len(c.Result.Masks) != 10 {
+		t.Fatalf("masks %d", len(c.Result.Masks))
+	}
+	if c.Result.Elapsed <= 0 {
+		t.Fatal("elapsed must be positive")
+	}
+	if c.Result.FPS() <= 0 {
+		t.Fatal("FPS must be positive")
+	}
+}
+
+func TestNaiveClientNoRetain(t *testing.T) {
+	fs := frames(t, 5)
+	clientConn, serverConn := transport.Pipe(2, nil)
+	done := serveNaive(serverConn, t)
+	c := &NaiveClient{}
+	if err := c.Run(clientConn, NewReplay(fs), len(fs), false); err != nil {
+		t.Fatal(err)
+	}
+	clientConn.Close()
+	<-done
+	if c.Result.Masks != nil {
+		t.Fatal("retain=false must not keep masks")
+	}
+}
+
+func TestNaiveClientServerGone(t *testing.T) {
+	fs := frames(t, 3)
+	clientConn, serverConn := transport.Pipe(1, nil)
+	serverConn.Close()
+	c := &NaiveClient{}
+	if err := c.Run(clientConn, NewReplay(fs), len(fs), false); err == nil {
+		t.Fatal("dead server must surface an error")
+	}
+}
+
+func TestNaiveResultFPSZeroSafe(t *testing.T) {
+	var r NaiveResult
+	if r.FPS() != 0 {
+		t.Fatal("zero-elapsed FPS must be 0")
+	}
+}

@@ -1,0 +1,33 @@
+package bounds_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bounds"
+)
+
+// Reproducing §5.3's parameter-selection procedure: evaluate the §4.4
+// closed forms on the Table 1 measurements and search for the largest
+// MAX_UPDATES whose throughput lower bound stays above 5 FPS.
+func ExampleInputs_MaxUpdatesFor() {
+	in := bounds.Inputs{
+		TSI:        143 * time.Millisecond, // student inference
+		TSD:        13 * time.Millisecond,  // one partial distillation step
+		TTI:        44 * time.Millisecond,  // teacher inference
+		TNet:       303 * time.Millisecond, // key frame + partial diff at 80 Mbps
+		SNet:       2_637_000 + 395_000,
+		MinStride:  8,
+		MaxStride:  64,
+		MaxUpdates: 8,
+	}
+	fmt.Printf("throughput upper bound: %.2f FPS\n", in.ThroughputUpper())
+	lo, hi := in.TrafficBoundsMbps()
+	fmt.Printf("traffic bounds: %.2f – %.1f Mbps\n", lo, hi)
+	mu, _ := in.MaxUpdatesFor(5, 64)
+	fmt.Printf("MAX_UPDATES: %d\n", mu)
+	// Output:
+	// throughput upper bound: 6.99 FPS
+	// traffic bounds: 2.53 – 21.2 Mbps
+	// MAX_UPDATES: 8
+}

@@ -1,0 +1,393 @@
+// Package compress implements the model-level update compression the paper
+// defers to future work (§5.2/§8: "model-level optimizations such as ...
+// performing quantization or pruning on weights can be applied to the
+// student"): per-tensor symmetric int8 quantization and magnitude pruning
+// with sparse encoding, applied to the student diffs that travel server →
+// client. Both are lossy; the ablation benches measure the bytes saved
+// against the accuracy cost.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Codec compresses and decompresses a set of named parameters.
+type Codec interface {
+	// Encode serialises params.
+	Encode(w io.Writer, params []*nn.Parameter) error
+	// Decode parses a stream produced by Encode.
+	Decode(r io.Reader) ([]*nn.Parameter, error)
+	// Name identifies the codec on the wire and in experiment output.
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// Raw codec: the float32 baseline (what the paper ships).
+// ---------------------------------------------------------------------------
+
+// Raw is the identity codec over nn.WriteNamed/ReadNamed.
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Encode implements Codec.
+func (Raw) Encode(w io.Writer, params []*nn.Parameter) error {
+	return nn.WriteNamed(w, params)
+}
+
+// Decode implements Codec.
+func (Raw) Decode(r io.Reader) ([]*nn.Parameter, error) {
+	return nn.ReadNamed(r)
+}
+
+// ---------------------------------------------------------------------------
+// Int8 codec: per-tensor symmetric quantization, 4× smaller than float32.
+// ---------------------------------------------------------------------------
+
+// Int8 quantizes each tensor to signed 8-bit integers with one float32
+// scale per tensor: v ≈ scale × q, q ∈ [-127, 127].
+type Int8 struct{}
+
+// Name implements Codec.
+func (Int8) Name() string { return "int8" }
+
+// Encode implements Codec.
+func (Int8) Encode(w io.Writer, params []*nn.Parameter) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeHeader(w, p); err != nil {
+			return err
+		}
+		maxAbs := float32(0)
+		for _, v := range p.Value.Data {
+			if a := abs32(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		if err := binary.Write(w, binary.LittleEndian, scale); err != nil {
+			return err
+		}
+		buf := make([]int8, p.Value.Len())
+		for i, v := range p.Value.Data {
+			q := math.Round(float64(v / scale))
+			if q > 127 {
+				q = 127
+			}
+			if q < -127 {
+				q = -127
+			}
+			buf[i] = int8(q)
+		}
+		if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode implements Codec.
+func (Int8) Decode(r io.Reader) ([]*nn.Parameter, error) {
+	count, err := readCount(r)
+	if err != nil {
+		return nil, err
+	}
+	params := make([]*nn.Parameter, 0, count)
+	for i := 0; i < count; i++ {
+		name, shape, err := readHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		var scale float32
+		if err := binary.Read(r, binary.LittleEndian, &scale); err != nil {
+			return nil, fmt.Errorf("compress: int8 scale: %w", err)
+		}
+		t := tensor.New(shape...)
+		buf := make([]int8, t.Len())
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("compress: int8 data: %w", err)
+		}
+		for j, q := range buf {
+			t.Data[j] = float32(q) * scale
+		}
+		params = append(params, &nn.Parameter{Name: name, Value: t})
+	}
+	return params, nil
+}
+
+// ---------------------------------------------------------------------------
+// Pruned codec: magnitude pruning + sparse (index, value) encoding.
+// ---------------------------------------------------------------------------
+
+// Pruned keeps only the largest-magnitude fraction of each tensor's entries
+// and encodes them sparsely as (uint32 index, float32 value) pairs. The
+// receiver fills the rest with zeros, so it only makes sense for *diffs*
+// applied to weights the receiver already holds — ShadowTutor's update path
+// applies full values, so Pruned wraps them as value-vs-reference deltas.
+type Pruned struct {
+	// KeepFraction is the fraction of entries retained per tensor, (0, 1].
+	KeepFraction float64
+	// Reference holds the receiver-side values the deltas apply to; nil
+	// means prune the raw values themselves.
+	Reference *nn.ParamSet
+}
+
+// Name implements Codec.
+func (p Pruned) Name() string { return fmt.Sprintf("prune%.0f%%", p.KeepFraction*100) }
+
+// Encode implements Codec.
+func (p Pruned) Encode(w io.Writer, params []*nn.Parameter) error {
+	if p.KeepFraction <= 0 || p.KeepFraction > 1 {
+		return fmt.Errorf("compress: keep fraction %v outside (0,1]", p.KeepFraction)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, prm := range params {
+		if err := writeHeader(w, prm); err != nil {
+			return err
+		}
+		// Deltas against the reference (zero reference = raw values).
+		deltas := make([]float32, prm.Value.Len())
+		copy(deltas, prm.Value.Data)
+		if p.Reference != nil {
+			if ref := p.Reference.Get(prm.Name); ref != nil {
+				for i := range deltas {
+					deltas[i] -= ref.Value.Data[i]
+				}
+			}
+		}
+		keep := int(math.Ceil(p.KeepFraction * float64(len(deltas))))
+		idx := topKByMagnitude(deltas, keep)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(idx))); err != nil {
+			return err
+		}
+		for _, i := range idx {
+			if err := binary.Write(w, binary.LittleEndian, uint32(i)); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, deltas[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Decode implements Codec. The returned parameters hold reference+delta
+// when a Reference is configured, raw sparse values otherwise.
+func (p Pruned) Decode(r io.Reader) ([]*nn.Parameter, error) {
+	count, err := readCount(r)
+	if err != nil {
+		return nil, err
+	}
+	params := make([]*nn.Parameter, 0, count)
+	for i := 0; i < count; i++ {
+		name, shape, err := readHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		t := tensor.New(shape...)
+		if p.Reference != nil {
+			if ref := p.Reference.Get(name); ref != nil {
+				copy(t.Data, ref.Value.Data)
+			}
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("compress: prune count: %w", err)
+		}
+		if int(n) > t.Len() {
+			return nil, fmt.Errorf("compress: prune count %d exceeds tensor size %d", n, t.Len())
+		}
+		for j := uint32(0); j < n; j++ {
+			var idx uint32
+			var val float32
+			if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+				return nil, fmt.Errorf("compress: prune index: %w", err)
+			}
+			if err := binary.Read(r, binary.LittleEndian, &val); err != nil {
+				return nil, fmt.Errorf("compress: prune value: %w", err)
+			}
+			if int(idx) >= t.Len() {
+				return nil, fmt.Errorf("compress: prune index %d out of range %d", idx, t.Len())
+			}
+			t.Data[idx] += val
+		}
+		params = append(params, &nn.Parameter{Name: name, Value: t})
+	}
+	return params, nil
+}
+
+// topKByMagnitude returns the indices of the k largest-|v| entries,
+// ascending by index for cache-friendly application.
+func topKByMagnitude(vals []float32, k int) []int {
+	if k >= len(vals) {
+		idx := make([]int, len(vals))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return abs32(vals[idx[a]]) > abs32(vals[idx[b]])
+	})
+	idx = idx[:k]
+	sort.Ints(idx)
+	return idx
+}
+
+// ---------------------------------------------------------------------------
+// Shared header helpers (same layout as nn.WriteNamed's per-param header).
+// ---------------------------------------------------------------------------
+
+func writeHeader(w io.Writer, p *nn.Parameter) error {
+	if len(p.Name) > 65535 {
+		return fmt.Errorf("compress: name too long: %d", len(p.Name))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(p.Name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, p.Name); err != nil {
+		return err
+	}
+	shape := p.Value.Shape()
+	if err := binary.Write(w, binary.LittleEndian, uint8(len(shape))); err != nil {
+		return err
+	}
+	for _, d := range shape {
+		if err := binary.Write(w, binary.LittleEndian, int32(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readHeader(r io.Reader) (string, []int, error) {
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return "", nil, fmt.Errorf("compress: name length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", nil, fmt.Errorf("compress: name: %w", err)
+	}
+	var rank uint8
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return "", nil, fmt.Errorf("compress: rank: %w", err)
+	}
+	if rank > 8 {
+		return "", nil, fmt.Errorf("compress: implausible rank %d", rank)
+	}
+	shape := make([]int, rank)
+	for i := range shape {
+		var d int32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return "", nil, fmt.Errorf("compress: dim: %w", err)
+		}
+		if d < 0 || d > 1<<24 {
+			return "", nil, fmt.Errorf("compress: implausible dim %d", d)
+		}
+		shape[i] = int(d)
+	}
+	return string(name), shape, nil
+}
+
+func readCount(r io.Reader) (int, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return 0, fmt.Errorf("compress: count: %w", err)
+	}
+	if count > 1<<20 {
+		return 0, fmt.Errorf("compress: implausible count %d", count)
+	}
+	return int(count), nil
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// EncodedBytes returns the byte length codec produces for params, for
+// traffic accounting and the compression ablation.
+func EncodedBytes(c Codec, params []*nn.Parameter) (int, error) {
+	var cw countingWriter
+	if err := c.Encode(&cw, params); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// MaxAbsError returns the worst-case elementwise reconstruction error of
+// round-tripping params through codec — the quantization-quality metric the
+// compression tests assert on.
+func MaxAbsError(c Codec, params []*nn.Parameter) (float64, error) {
+	var cw bufWriter
+	if err := c.Encode(&cw, params); err != nil {
+		return 0, err
+	}
+	got, err := c.Decode(&cw)
+	if err != nil {
+		return 0, err
+	}
+	if len(got) != len(params) {
+		return 0, fmt.Errorf("compress: round trip lost parameters: %d vs %d", len(got), len(params))
+	}
+	worst := 0.0
+	for i, p := range params {
+		for j := range p.Value.Data {
+			d := math.Abs(float64(p.Value.Data[j] - got[i].Value.Data[j]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// bufWriter is an in-memory io.Writer/io.Reader pair for round trips.
+type bufWriter struct {
+	b   []byte
+	off int
+}
+
+func (w *bufWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *bufWriter) Read(p []byte) (int, error) {
+	if w.off >= len(w.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, w.b[w.off:])
+	w.off += n
+	return n, nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// Client implements Algorithm 4 over a transport.Conn with real goroutines:
+// key frames are sent without blocking, the updated student parameters are
+// received asynchronously, and the client keeps inferring non-key frames on
+// the slightly outdated student in the meantime. The updated weights are
+// awaited for at most MIN_STRIDE frames (Algorithm 4 lines 15–17).
+type Client struct {
+	Cfg     Config
+	Student *nn.Student
+	// EvalTeacher, when non-nil, is consulted per frame to measure mIoU
+	// against the teacher output (§6.3 protocol). It runs client-side in
+	// tests; over real deployments it would be absent.
+	EvalTeacher interface {
+		Infer(video.Frame) []int32
+	}
+
+	// Stats populated by Run.
+	Result ClientResult
+
+	strides []float64 // stride trace accumulated during Run
+}
+
+// ClientResult summarises a client session.
+type ClientResult struct {
+	Frames      int
+	KeyFrames   int
+	Elapsed     time.Duration
+	MeanIoU     float64
+	EvalFrames  int
+	StrideTrace []float64
+}
+
+// asyncRecv is the handle returned by the non-blocking receive
+// (FromServerAsync): a one-shot channel carrying the decoded diff.
+type asyncRecv struct {
+	ch  chan transport.StudentDiff
+	err chan error
+}
+
+// Run executes the client loop over n frames from src. The student is
+// initialised from the server's MsgStudentFull, so callers may pass a
+// freshly constructed (untrained) student.
+func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
+	if err := c.Cfg.Validate(); err != nil {
+		return err
+	}
+	// Handshake.
+	hello := transport.Hello{
+		Version:  transport.Version,
+		NumClass: uint16(c.Student.Config.NumClasses),
+		Partial:  c.Cfg.Partial,
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(hello)}); err != nil {
+		return fmt.Errorf("core: client hello: %w", err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: client initial student recv: %w", err)
+	}
+	if m.Type != transport.MsgStudentFull {
+		return fmt.Errorf("core: expected StudentFull, got %v", m.Type)
+	}
+	params, err := nn.ReadNamed(bytes.NewReader(m.Body))
+	if err != nil {
+		return err
+	}
+	if err := nn.ApplyNamed(c.Student.Params, params); err != nil {
+		return err
+	}
+	c.Student.SetPartial(c.Cfg.Partial)
+
+	// Dedicated receiver goroutine: decodes StudentDiff messages and hands
+	// them to the pending asyncRecv handle.
+	recvQ := make(chan asyncRecv, 1)
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			h, ok := <-recvQ
+			if !ok {
+				recvDone <- nil
+				return
+			}
+			m, err := conn.Recv()
+			if err != nil {
+				h.err <- err
+				recvDone <- err
+				return
+			}
+			if m.Type != transport.MsgStudentDiff {
+				h.err <- fmt.Errorf("core: expected StudentDiff, got %v", m.Type)
+				recvDone <- nil
+				return
+			}
+			d, err := transport.DecodeStudentDiff(m.Body)
+			if err != nil {
+				h.err <- err
+				recvDone <- nil
+				return
+			}
+			h.ch <- d
+		}
+	}()
+	defer func() {
+		close(recvQ)
+		<-recvDone
+	}()
+
+	cm := metrics.NewConfusionMatrix(c.Student.Config.NumClasses)
+	start := time.Now()
+	stride := float64(c.Cfg.MinStride)
+	step := c.Cfg.MinStride // first frame is a key frame
+	updated := true
+	var inflight *asyncRecv
+
+	// tryApply checks the in-flight receive; block=true waits for it
+	// (WaitUntilComplete). On success the diff is applied and the handle
+	// cleared.
+	tryApply := func(block bool) error {
+		if inflight == nil {
+			return nil
+		}
+		if block {
+			select {
+			case d := <-inflight.ch:
+				inflight = nil
+				return c.apply(d, &stride, &updated)
+			case err := <-inflight.err:
+				return err
+			}
+		}
+		select {
+		case d := <-inflight.ch:
+			inflight = nil
+			return c.apply(d, &stride, &updated)
+		case err := <-inflight.err:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		frame := src.Next()
+		if step >= int(stride+0.5) { // key frame
+			c.Result.KeyFrames++
+			kf := transport.KeyFrame{FrameIndex: uint32(frame.Index), Image: frame.Image, Label: frame.Label}
+			if err := conn.Send(transport.Message{Type: transport.MsgKeyFrame, Body: transport.EncodeKeyFrame(kf)}); err != nil {
+				return fmt.Errorf("core: sending key frame: %w", err)
+			}
+			h := asyncRecv{ch: make(chan transport.StudentDiff, 1), err: make(chan error, 1)}
+			recvQ <- h
+			inflight = &h
+			step = 0
+			updated = false
+		}
+
+		mask, _ := c.Student.Infer(frame.Image)
+		step++
+
+		if c.EvalTeacher != nil {
+			cm.Add(mask, c.EvalTeacher.Infer(frame))
+			c.Result.EvalFrames++
+		}
+
+		if !updated && inflight != nil {
+			// WaitUntilComplete at MIN_STRIDE; opportunistic otherwise
+			// (Algorithm 4 lines 14–22).
+			if err := tryApply(step == c.Cfg.MinStride); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain any outstanding update so the receiver goroutine can exit.
+	if err := tryApply(true); err != nil {
+		return err
+	}
+	_ = conn.Send(transport.Message{Type: transport.MsgShutdown})
+
+	c.Result.Frames = n
+	c.Result.Elapsed = time.Since(start)
+	c.Result.MeanIoU = cm.MeanIoU()
+	c.Result.StrideTrace = append([]float64(nil), c.strides...)
+	return nil
+}
+
+func (c *Client) apply(d transport.StudentDiff, stride *float64, updated *bool) error {
+	if err := nn.ApplyNamed(c.Student.Params, d.Params); err != nil {
+		return err
+	}
+	*stride = NextStride(c.Cfg, *stride, d.Metric)
+	c.strides = append(c.strides, *stride)
+	*updated = true
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/loss"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/video"
+)
+
+// Distiller owns the server-side copy of the student and trains it on key
+// frames against teacher pseudo-labels (Algorithm 1).
+type Distiller struct {
+	Cfg     Config
+	Student *nn.Student
+	Opt     optim.Optimizer
+
+	// Measured per-process distillation statistics (feeds Table 2).
+	TotalSteps    int
+	TotalTrains   int
+	TotalStepTime time.Duration
+}
+
+// NewDistiller wraps student with a fresh Adam optimizer and sets the
+// freeze state from cfg.Partial.
+func NewDistiller(cfg Config, student *nn.Student) *Distiller {
+	student.SetPartial(cfg.Partial)
+	return &Distiller{Cfg: cfg, Student: student, Opt: optim.NewAdam(cfg.LearningRate)}
+}
+
+// TrainResult reports one Train call.
+type TrainResult struct {
+	Metric     float64       // best metric achieved (mIoU against the pseudo-label)
+	Steps      int           // distillation steps actually taken
+	StepTime   time.Duration // total wall time spent in optimization steps
+	SkippedOpt bool          // true when the initial metric already cleared THRESHOLD
+}
+
+// Train implements Algorithm 1. It evaluates the student on the key frame
+// against the pseudo-label; if below THRESHOLD it takes up to MAX_UPDATES
+// partial-backward optimization steps, tracking the best-performing weights,
+// and stops early once the metric exceeds THRESHOLD. The student ends up
+// holding the best weights seen.
+func (d *Distiller) Train(frame video.Frame, label []int32) TrainResult {
+	img := frame.Image
+	h, w := img.Dim(1), img.Dim(2)
+	numClasses := d.Student.Config.NumClasses
+
+	pred, _ := d.Student.Infer(img)
+	bestMetric := metrics.MeanIoU(pred, label, numClasses)
+	var bestParams *nn.ParamSet // lazily cloned only if training improves
+
+	res := TrainResult{Metric: bestMetric}
+	if bestMetric >= d.Cfg.Threshold {
+		// Algorithm 1 line 4: already above THRESHOLD, no optimization.
+		res.SkippedOpt = true
+		d.TotalTrains++
+		return res
+	}
+
+	var weights []float32
+	if !d.Cfg.UnweightedLoss {
+		weights = loss.PixelWeights(label, h, w)
+	}
+	start := time.Now()
+	for i := 0; i < d.Cfg.MaxUpdates; i++ {
+		fc := nn.NewForwardCtx(true)
+		out := d.Student.Forward(fc, img)
+		_, grad := loss.SoftmaxCrossEntropy(out.Value, label, weights)
+		fc.Tape.Backward(out, grad)
+		params := d.Student.Params.OptimParams(fc.Vars)
+		if d.Cfg.GradClipNorm > 0 {
+			optim.GradClip(params, d.Cfg.GradClipNorm)
+		}
+		d.Opt.Step(params)
+		res.Steps++
+
+		pred, _ = d.Student.Infer(img)
+		metric := metrics.MeanIoU(pred, label, numClasses)
+		if metric > bestMetric {
+			bestMetric = metric
+			bestParams = snapshotTrainable(d.Student.Params)
+		}
+		if metric >= d.Cfg.Threshold {
+			break
+		}
+	}
+	res.StepTime = time.Since(start)
+	res.Metric = bestMetric
+	// Restore the best-performing weights (Algorithm 1 returns
+	// best_student, not the last iterate).
+	if bestParams != nil {
+		d.Student.Params.ApplyValues(bestParams)
+	}
+	d.TotalSteps += res.Steps
+	d.TotalTrains++
+	d.TotalStepTime += res.StepTime
+	return res
+}
+
+// MeanSteps returns the mean number of distillation steps per Train call
+// (Table 2's "Mean # of steps").
+func (d *Distiller) MeanSteps() float64 {
+	if d.TotalTrains == 0 {
+		return 0
+	}
+	return float64(d.TotalSteps) / float64(d.TotalTrains)
+}
+
+// MeanStepLatency returns the mean wall time of one distillation step
+// (Table 2's "One step (ms)").
+func (d *Distiller) MeanStepLatency() time.Duration {
+	if d.TotalSteps == 0 {
+		return 0
+	}
+	return d.TotalStepTime / time.Duration(d.TotalSteps)
+}
+
+// snapshotTrainable deep-copies only the trainable parameters (plus BN
+// statistics, which mutate during training-mode forwards) so best-weight
+// tracking stays cheap under partial distillation.
+func snapshotTrainable(ps *nn.ParamSet) *nn.ParamSet {
+	out := nn.NewParamSet()
+	for _, p := range ps.All() {
+		if !p.Frozen || isBNStat(p.Name) {
+			np := out.Add(p.Name, p.Value.Clone())
+			np.Frozen = p.Frozen
+		}
+	}
+	return out
+}
+
+func isBNStat(name string) bool {
+	return hasSuffix(name, ".rmean") || hasSuffix(name, ".rvar")
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// InferMask is a convenience wrapper: student argmax mask for an image.
+func InferMask(s *nn.Student, img *tensor.Tensor) []int32 {
+	mask, _ := s.Infer(img)
+	return mask
+}

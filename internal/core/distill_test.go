@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/teacher"
+	"repro/internal/video"
+)
+
+func distillFixture(t *testing.T, partial bool) (*Distiller, video.Frame, []int32) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Partial = partial
+	student := tinyStudent(41)
+	d := NewDistiller(cfg, student)
+	g, err := video.NewGenerator(video.CategoryConfig(video.Category{Camera: video.Fixed, Scenery: video.People}, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := g.Next()
+	label := teacher.NewOracle(41).Infer(frame)
+	return d, frame, label
+}
+
+func TestTrainImprovesMetric(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	pre, _ := d.Student.Infer(frame.Image)
+	before := metrics.MeanIoU(pre, label, d.Student.Config.NumClasses)
+	res := d.Train(frame, label)
+	if res.Metric < before {
+		t.Fatalf("Train returned metric %v below starting %v (must return the best seen)", res.Metric, before)
+	}
+	if res.Steps > d.Cfg.MaxUpdates {
+		t.Fatalf("took %d steps, MAX_UPDATES %d", res.Steps, d.Cfg.MaxUpdates)
+	}
+}
+
+func TestTrainLeavesBestWeights(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	res := d.Train(frame, label)
+	post, _ := d.Student.Infer(frame.Image)
+	after := metrics.MeanIoU(post, label, d.Student.Config.NumClasses)
+	// The student must hold weights achieving the returned (best) metric.
+	if after < res.Metric-1e-9 {
+		t.Fatalf("student holds %v, Train reported best %v", after, res.Metric)
+	}
+}
+
+func TestTrainSkipsWhenAboveThreshold(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	d.Cfg.Threshold = 0.0001 // any starting metric clears it
+	// Validate() forbids 0; emulate by setting directly on the distiller.
+	res := d.Train(frame, label)
+	if !res.SkippedOpt || res.Steps != 0 {
+		t.Fatalf("expected skip (Algorithm 1 line 4), got steps=%d skipped=%v", res.Steps, res.SkippedOpt)
+	}
+}
+
+func TestTrainEarlyExitOnRepeatedFrame(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	first := d.Train(frame, label)
+	// After enough passes on the same frame the student crosses THRESHOLD
+	// and later calls early-exit with zero or few steps.
+	var last TrainResult
+	for i := 0; i < 6; i++ {
+		last = d.Train(frame, label)
+	}
+	if !(last.Metric >= first.Metric) {
+		t.Fatalf("metric regressed across repeated training: %v → %v", first.Metric, last.Metric)
+	}
+	if last.Metric >= d.Cfg.Threshold && last.Steps != 0 {
+		t.Fatalf("above-threshold frame still took %d steps", last.Steps)
+	}
+}
+
+func TestTrainFrozenParametersUntouchedPartial(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	frozenBefore := map[string][]float32{}
+	for _, p := range d.Student.Params.All() {
+		if p.Frozen && !isBNStat(p.Name) {
+			frozenBefore[p.Name] = append([]float32(nil), p.Value.Data...)
+		}
+	}
+	if len(frozenBefore) == 0 {
+		t.Fatal("partial mode must freeze parameters")
+	}
+	d.Train(frame, label)
+	for name, before := range frozenBefore {
+		now := d.Student.Params.Get(name).Value.Data
+		for i := range before {
+			if now[i] != before[i] {
+				t.Fatalf("frozen parameter %s changed during partial distillation", name)
+			}
+		}
+	}
+}
+
+func TestTrainFullUpdatesBackbone(t *testing.T) {
+	d, frame, label := distillFixture(t, false)
+	p := d.Student.Params.Get("sb1.c33.w")
+	before := append([]float32(nil), p.Value.Data...)
+	res := d.Train(frame, label)
+	if res.Steps == 0 {
+		t.Skip("student already above threshold; nothing to assert")
+	}
+	changed := false
+	for i := range before {
+		if p.Value.Data[i] != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("full distillation must update backbone weights")
+	}
+}
+
+func TestTrainAccumulatesStats(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	d.Train(frame, label)
+	d.Train(frame, label)
+	if d.TotalTrains != 2 {
+		t.Fatalf("TotalTrains = %d", d.TotalTrains)
+	}
+	if d.TotalSteps > 0 {
+		if d.MeanSteps() <= 0 {
+			t.Fatal("MeanSteps inconsistent")
+		}
+		if d.MeanStepLatency() <= 0 {
+			t.Fatal("MeanStepLatency inconsistent")
+		}
+	}
+}
+
+func TestTrainKeepsWeightsFinite(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	for i := 0; i < 3; i++ {
+		d.Train(frame, label)
+	}
+	for _, p := range d.Student.Params.All() {
+		if !p.Value.AllFinite() {
+			t.Fatalf("parameter %s went non-finite", p.Name)
+		}
+	}
+}
+
+func TestUnweightedLossAblationPath(t *testing.T) {
+	d, frame, label := distillFixture(t, true)
+	d.Cfg.UnweightedLoss = true
+	res := d.Train(frame, label)
+	if res.Metric <= 0 {
+		t.Fatal("unweighted training must still improve the student")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// RetimeConfig re-evaluates a recorded key-frame schedule under different
+// network conditions.
+type RetimeConfig struct {
+	Cfg         Config
+	Link        netsim.Link
+	Latencies   ComponentLatencies
+	Concurrency Concurrency
+}
+
+// Retime replays a schedule produced by Simulate and returns the virtual
+// execution time for the given link/latency configuration. The schedule
+// itself is bandwidth-invariant (see SimResult.Schedule); only the blocking
+// waits at MIN_STRIDE change. frames is the total frame count of the run.
+func Retime(rc RetimeConfig, schedule []KeyFrameEvent, frames int, partial bool) time.Duration {
+	lat := rc.Latencies
+	if lat == (ComponentLatencies{}) {
+		lat = PaperLatencies(partial)
+	}
+	diffBytes := hdStudentBytes
+	if partial {
+		diffBytes = hdPartialDiffBytes
+	}
+
+	var now time.Duration
+	ki := 0
+	var pendingArrive time.Duration
+	pendingActive := false
+	stepsSinceKey := 0
+	for i := 0; i < frames; i++ {
+		if ki < len(schedule) && schedule[ki].FrameIndex == i {
+			ev := schedule[ki]
+			ki++
+			serverTime := lat.TeacherInference + time.Duration(ev.Steps)*lat.DistillStep
+			transfer := rc.Link.TransferTime(hdFrameBytes) + rc.Link.TransferTime(diffBytes)
+			if rc.Concurrency == FullConcurrency {
+				pendingArrive = now + serverTime + transfer
+				pendingActive = true
+			} else {
+				now += serverTime + transfer
+				pendingActive = false
+			}
+			stepsSinceKey = 0
+		}
+		now += lat.StudentInference
+		stepsSinceKey++
+		if pendingActive {
+			if stepsSinceKey == rc.Cfg.MinStride && now < pendingArrive {
+				now = pendingArrive // WaitUntilComplete (Algorithm 4 line 16)
+			}
+			if now >= pendingArrive {
+				pendingActive = false
+			}
+		}
+	}
+	return now
+}
+
+// RetimeFPS returns frames/s for a retimed schedule.
+func RetimeFPS(rc RetimeConfig, schedule []KeyFrameEvent, frames int, partial bool) float64 {
+	d := Retime(rc, schedule, frames, partial)
+	if d <= 0 {
+		return 0
+	}
+	return float64(frames) / d.Seconds()
+}
+
+// NaiveTime returns the virtual execution time of naive offloading for the
+// given frame count and link — every frame pays the full synchronous round
+// trip (upload, teacher inference, download) plus the per-frame overhead.
+func NaiveTime(link netsim.Link, lat ComponentLatencies, frames int, overhead time.Duration) time.Duration {
+	per := link.TransferTime(hdFrameBytes) + lat.TeacherInference +
+		link.TransferTime(hdNaiveDown) + overhead
+	return time.Duration(frames) * per
+}
+
+// NaiveFPS returns naive offloading throughput for the link.
+func NaiveFPS(link netsim.Link, lat ComponentLatencies, overhead time.Duration) float64 {
+	d := NaiveTime(link, lat, 1, overhead)
+	if d <= 0 {
+		return 0
+	}
+	return 1 / d.Seconds()
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// Server implements Algorithm 3 over a transport.Conn: ship the initial
+// student, then loop — receive a key frame, run teacher inference, distil
+// into the server-side student copy, and return the updated (trainable)
+// parameters plus the achieved metric.
+type Server struct {
+	Cfg       Config
+	Teacher   teacher.Teacher
+	Distiller *Distiller
+}
+
+// NewServer builds a server around a student copy and a teacher.
+func NewServer(cfg Config, student *nn.Student, tch teacher.Teacher) *Server {
+	return &Server{Cfg: cfg, Teacher: tch, Distiller: NewDistiller(cfg, student)}
+}
+
+// Serve runs the protocol until the client shuts down or the connection
+// drops. It returns nil on clean shutdown.
+func (s *Server) Serve(conn transport.Conn) error {
+	// Handshake.
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: server handshake recv: %w", err)
+	}
+	if m.Type != transport.MsgHello {
+		return fmt.Errorf("core: expected Hello, got %v", m.Type)
+	}
+	hello, err := transport.DecodeHello(m.Body)
+	if err != nil {
+		return err
+	}
+	if hello.Version != transport.Version {
+		return fmt.Errorf("core: protocol version mismatch: client %d, server %d", hello.Version, transport.Version)
+	}
+
+	// Algorithm 3 line 1: ToClient(student) — the full checkpoint, so the
+	// client needs no pre-installed weights (§4.1.3).
+	var full []byte
+	{
+		var err error
+		full, err = encodeParams(s.Distiller.Student.Params.All())
+		if err != nil {
+			return err
+		}
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgStudentFull, Body: full}); err != nil {
+		return fmt.Errorf("core: sending initial student: %w", err)
+	}
+
+	// Algorithm 3 lines 2–7.
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("core: server recv: %w", err)
+		}
+		switch m.Type {
+		case transport.MsgShutdown:
+			return nil
+		case transport.MsgKeyFrame:
+			kf, err := transport.DecodeKeyFrame(m.Body)
+			if err != nil {
+				return err
+			}
+			frame := video.Frame{Index: int(kf.FrameIndex), Image: kf.Image, Label: kf.Label}
+			label := s.Teacher.Infer(frame)
+			tr := s.Distiller.Train(frame, label)
+			diff := transport.StudentDiff{
+				FrameIndex: kf.FrameIndex,
+				Metric:     tr.Metric,
+				Params:     nn.TrainableSubset(s.Distiller.Student.Params),
+			}
+			body, err := transport.EncodeStudentDiff(diff)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(transport.Message{Type: transport.MsgStudentDiff, Body: body}); err != nil {
+				return fmt.Errorf("core: sending student diff: %w", err)
+			}
+		default:
+			return fmt.Errorf("core: server: unexpected message %v", m.Type)
+		}
+	}
+}
+
+// NaiveServer answers every frame with the teacher's mask — the paper's
+// naive-offloading baseline over a real connection.
+type NaiveServer struct {
+	Teacher teacher.Teacher
+}
+
+// Serve runs the naive protocol until shutdown.
+func (s *NaiveServer) Serve(conn transport.Conn) error {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return fmt.Errorf("core: naive server recv: %w", err)
+		}
+		switch m.Type {
+		case transport.MsgShutdown:
+			return nil
+		case transport.MsgKeyFrame:
+			kf, err := transport.DecodeKeyFrame(m.Body)
+			if err != nil {
+				return err
+			}
+			mask := s.Teacher.Infer(video.Frame{Index: int(kf.FrameIndex), Image: kf.Image, Label: kf.Label})
+			body := transport.EncodePrediction(transport.Prediction{FrameIndex: kf.FrameIndex, Mask: mask})
+			if err := conn.Send(transport.Message{Type: transport.MsgPrediction, Body: body}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: naive server: unexpected message %v", m.Type)
+		}
+	}
+}
+
+func encodeParams(params []*nn.Parameter) ([]byte, error) {
+	var buf bytesBuffer
+	if err := nn.WriteNamed(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// bytesBuffer is a minimal io.Writer onto a byte slice (avoids pulling
+// bytes.Buffer into the hot path; also keeps encodeParams allocation-lean).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+	"repro/internal/teacher"
+	"repro/internal/video"
+)
+
+// Mode selects the system being simulated.
+type Mode int
+
+// Simulation modes.
+const (
+	// ModeShadowTutor runs Algorithms 1–4.
+	ModeShadowTutor Mode = iota
+	// ModeNaive offloads every frame to the server (the paper's baseline).
+	ModeNaive
+	// ModeWild runs the pre-trained student alone, no distillation
+	// (Table 6's "Wild" column).
+	ModeWild
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeShadowTutor:
+		return "shadowtutor"
+	case ModeNaive:
+		return "naive"
+	case ModeWild:
+		return "wild"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Concurrency describes how much the client can overlap network operations
+// with on-device inference (§4.4: a device "may either be able to execute
+// student inference and network operations entirely in parallel, or it may
+// not support any form of concurrency").
+type Concurrency int
+
+// Concurrency levels.
+const (
+	// FullConcurrency overlaps the network round trip with inference.
+	FullConcurrency Concurrency = iota
+	// NoConcurrency serialises inference and networking.
+	NoConcurrency
+)
+
+// HD-equivalent wire sizes used for virtual-time accounting, from Table 4 of
+// the paper. Our frames are small (96×64); timing with HD sizes keeps
+// throughput and traffic in the paper's regime. See DESIGN.md §2.
+const (
+	hdFrameBytes       = netsim.HDFrameBytes // 2.637 MB key-frame upload
+	hdStudentBytes     = 1_846_000           // 1.846 MB full student
+	hdPartialDiffBytes = 395_000             // 0.395 MB partial update
+	hdNaiveDown        = netsim.HDNaiveResponseBytes
+)
+
+// SimConfig configures one simulated run.
+type SimConfig struct {
+	Cfg    Config
+	Mode   Mode
+	Frames int
+
+	// Link models the client↔server connection for virtual-time transfer
+	// delays and traffic accounting.
+	Link netsim.Link
+	// Latencies are the per-component virtual-time costs; zero-valued
+	// fields fall back to the paper's measurements for the config's mode.
+	Latencies ComponentLatencies
+	// Concurrency is the client's overlap capability.
+	Concurrency Concurrency
+	// DelayFrames, when > 0, forces the student update to arrive exactly
+	// this many frames after its key frame, overriding link timing — the
+	// P-1/P-8 protocol of Table 6.
+	DelayFrames int
+	// NaiveOverheadPerFrame adds fixed client-side cost per naive frame
+	// (encode/decode); calibrated so naive FPS lands near the paper's 2.09.
+	NaiveOverheadPerFrame time.Duration
+
+	// EvalEvery computes accuracy-vs-teacher every kth frame (1 = every
+	// frame, the paper's protocol). Larger values trade fidelity for speed
+	// in quick runs.
+	EvalEvery int
+
+	// StridePolicy, when non-nil, replaces Algorithm 2's NextStride for the
+	// §4.1.5 ablation (fixed stride, exponential back-off). It receives the
+	// current stride and the post-distillation metric and returns the next
+	// stride, which the simulator still clamps to [MIN_STRIDE, MAX_STRIDE].
+	StridePolicy func(stride, metric float64) float64
+
+	// UnweightedLoss disables the §5.2 object-proximity loss weighting
+	// (ablation only).
+	UnweightedLoss bool
+}
+
+// FixedStridePolicy always returns n — the Zhu et al. baseline the paper
+// rejects in §4.1.5.
+func FixedStridePolicy(n int) func(stride, metric float64) float64 {
+	return func(_, _ float64) float64 { return float64(n) }
+}
+
+// ExponentialBackoffPolicy doubles the stride after a good key frame and
+// resets to MIN_STRIDE after a bad one — the Mullapudi et al. scheme the
+// paper rejects as non-adaptive (§4.1.5).
+func ExponentialBackoffPolicy(cfg Config) func(stride, metric float64) float64 {
+	return func(stride, metric float64) float64 {
+		if metric >= cfg.Threshold {
+			return stride * 2
+		}
+		return float64(cfg.MinStride)
+	}
+}
+
+// SimResult aggregates one run's measurements; these feed every table.
+type SimResult struct {
+	Mode         Mode
+	Partial      bool
+	Frames       int
+	KeyFrames    int
+	DistillSteps int
+	SkippedOpt   int // key frames where the student already cleared THRESHOLD
+
+	VirtualTime time.Duration // total execution time on the virtual clock
+	BytesUp     int64         // HD-equivalent bytes to server
+	BytesDown   int64         // HD-equivalent bytes to client
+
+	MeanIoU     float64 // vs teacher output, averaged over evaluated frames
+	EvalFrames  int
+	StrideTrace []float64     // stride after each key frame
+	MetricTrace []float64     // post-distillation metric per key frame
+	DistillTime time.Duration // wall time spent distilling (Table 2)
+
+	// Schedule records every key-frame event. Because the client blocks on
+	// the pending update at MIN_STRIDE — before any stride decision can be
+	// taken — the schedule is independent of link bandwidth, so Retime can
+	// replay it under different network conditions (Figure 4) without
+	// re-running distillation.
+	Schedule []KeyFrameEvent
+}
+
+// KeyFrameEvent is one key frame in a run's schedule.
+type KeyFrameEvent struct {
+	FrameIndex int
+	Steps      int     // distillation steps the server took
+	Metric     float64 // post-distillation metric
+}
+
+// FPS returns frames per virtual second.
+func (r SimResult) FPS() float64 {
+	if r.VirtualTime <= 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.VirtualTime.Seconds()
+}
+
+// KeyFrameRatio returns key frames / frames (Table 5, %).
+func (r SimResult) KeyFrameRatio() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.KeyFrames) / float64(r.Frames)
+}
+
+// TrafficMbps returns total HD-equivalent traffic per virtual second.
+func (r SimResult) TrafficMbps() float64 {
+	return netsim.TrafficMbps(r.BytesUp+r.BytesDown, r.VirtualTime)
+}
+
+// MBPerKeyFrame returns (up, down) HD-equivalent megabytes per key frame
+// (Table 4).
+func (r SimResult) MBPerKeyFrame() (up, down float64) {
+	if r.KeyFrames == 0 {
+		return 0, 0
+	}
+	return netsim.MB(int(r.BytesUp)) / float64(r.KeyFrames),
+		netsim.MB(int(r.BytesDown)) / float64(r.KeyFrames)
+}
+
+// Simulate runs one experiment: it drives the real student and distiller
+// over the video source while accounting time on a virtual clock with the
+// configured component latencies. Accuracy is measured against the
+// teacher's output on every evaluated frame, exactly as §6.3 does ("all
+// accuracy values are evaluated against the teacher output").
+func Simulate(sc SimConfig, src video.Source, tch teacher.Teacher, student *nn.Student) (SimResult, error) {
+	if err := sc.Cfg.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if sc.Frames <= 0 {
+		return SimResult{}, fmt.Errorf("core: non-positive frame count %d", sc.Frames)
+	}
+	if sc.EvalEvery <= 0 {
+		sc.EvalEvery = 1
+	}
+	lat := sc.Latencies
+	if lat == (ComponentLatencies{}) {
+		lat = PaperLatencies(sc.Cfg.Partial)
+	}
+	switch sc.Mode {
+	case ModeNaive:
+		return simulateNaive(sc, src, tch, lat)
+	case ModeWild:
+		return SimulateWild(sc, src, tch, student)
+	default:
+		return simulateShadowTutor(sc, src, tch, student, lat, nil)
+	}
+}
+
+// SimulateCustomFreeze runs a ShadowTutor simulation with an explicit
+// freeze cut instead of the paper's through-SB4 partial mode — the
+// freeze-point ablation. prefixes nil means full distillation.
+func SimulateCustomFreeze(sc SimConfig, src video.Source, tch teacher.Teacher, student *nn.Student, prefixes []string) (SimResult, error) {
+	if err := sc.Cfg.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if sc.Frames <= 0 {
+		return SimResult{}, fmt.Errorf("core: non-positive frame count %d", sc.Frames)
+	}
+	if sc.EvalEvery <= 0 {
+		sc.EvalEvery = 1
+	}
+	lat := sc.Latencies
+	if lat == (ComponentLatencies{}) {
+		lat = PaperLatencies(sc.Cfg.Partial)
+	}
+	return simulateShadowTutor(sc, src, tch, student, lat, prefixes)
+}
+
+// pendingUpdate models an in-flight student diff.
+type pendingUpdate struct {
+	arrivesAt    time.Duration // virtual arrival time (timing mode)
+	arrivesFrame int           // frame index arrival (DelayFrames mode)
+	params       *nn.ParamSet  // trainable snapshot to apply
+	metric       float64
+	steps        int
+}
+
+// applyFreeze configures a student's frozen set: the paper's partial mode
+// by default, or an explicit prefix cut for the freeze-point ablation.
+func applyFreeze(st *nn.Student, cfg Config, prefixes []string) {
+	if prefixes == nil {
+		st.SetPartial(cfg.Partial)
+		return
+	}
+	st.Params.FreezePrefix(prefixes...)
+	for _, p := range st.Params.All() {
+		if hasSuffix(p.Name, ".rmean") || hasSuffix(p.Name, ".rvar") {
+			p.Frozen = true
+		}
+	}
+}
+
+func simulateShadowTutor(sc SimConfig, src video.Source, tch teacher.Teacher, student *nn.Student, lat ComponentLatencies, freezePrefixes []string) (SimResult, error) {
+	cfg := sc.Cfg
+	cfg.UnweightedLoss = cfg.UnweightedLoss || sc.UnweightedLoss
+	res := SimResult{Mode: sc.Mode, Partial: cfg.Partial}
+
+	// Server-side copy of the student (Algorithm 3 trains a copy; the
+	// client's copy is updated only via diffs). NewDistiller sets the
+	// paper freeze; a custom cut overrides it afterwards.
+	serverStudent := student.Clone()
+	dist := NewDistiller(cfg, serverStudent)
+	applyFreeze(serverStudent, cfg, freezePrefixes)
+	applyFreeze(student, cfg, freezePrefixes)
+
+	// HD-equivalent diff size: the paper's measured 0.395 MB partial /
+	// 1.846 MB full update (Table 4). Our own student's trainable fraction
+	// (≈ 23%) is close to the paper's 21.4%, so this keeps byte accounting
+	// in the paper's units without per-run drift.
+	diffBytes := hdPartialDiffBytes
+	if !cfg.Partial {
+		diffBytes = hdStudentBytes
+	}
+
+	cm := metrics.NewConfusionMatrix(student.Config.NumClasses)
+	var now time.Duration
+	stride := float64(cfg.MinStride)
+	step := cfg.MinStride // "step ← stride" so the first frame is a key frame
+	updated := true
+	var pending *pendingUpdate
+
+	nextStride := func(stride, metric float64) float64 {
+		if sc.StridePolicy != nil {
+			s := sc.StridePolicy(stride, metric)
+			return clampStride(cfg, s)
+		}
+		return NextStride(cfg, stride, metric)
+	}
+
+	applyUpdate := func(p *pendingUpdate) {
+		student.Params.ApplyValues(p.params)
+		stride = nextStride(stride, p.metric)
+		res.StrideTrace = append(res.StrideTrace, stride)
+		res.MetricTrace = append(res.MetricTrace, p.metric)
+		updated = true
+	}
+
+	for i := 0; i < sc.Frames; i++ {
+		frame := src.Next()
+		// Algorithm 4 compares step = stride; because stride only changes
+		// when an update applies (and may shrink mid-flight), ≥ against the
+		// rounded stride is the robust form.
+		isKey := step >= int(stride+0.5)
+		if isKey {
+			// Send key frame (non-blocking, Algorithm 4 line 7–8) and
+			// kick off server work.
+			res.KeyFrames++
+			res.BytesUp += int64(hdFrameBytes)
+
+			tr := dist.Train(frame, tch.Infer(frame))
+			res.DistillSteps += tr.Steps
+			res.DistillTime += tr.StepTime
+			if tr.SkippedOpt {
+				res.SkippedOpt++
+			}
+			res.BytesDown += int64(diffBytes)
+			res.Schedule = append(res.Schedule, KeyFrameEvent{FrameIndex: i, Steps: tr.Steps, Metric: tr.Metric})
+
+			p := &pendingUpdate{
+				params: snapshotTrainable(serverStudent.Params),
+				metric: tr.Metric,
+				steps:  tr.Steps,
+			}
+			if sc.DelayFrames > 0 {
+				p.arrivesFrame = i + sc.DelayFrames
+			} else {
+				serverTime := lat.TeacherInference + time.Duration(tr.Steps)*lat.DistillStep
+				transfer := sc.Link.TransferTime(hdFrameBytes) + sc.Link.TransferTime(diffBytes)
+				if sc.Concurrency == FullConcurrency {
+					p.arrivesAt = now + serverTime + transfer
+				} else {
+					// Without concurrency the client stalls for the whole
+					// round trip before continuing (eq. 2 upper bound).
+					now += serverTime + transfer
+					p.arrivesAt = now
+				}
+			}
+			pending = p
+			step = 0
+			updated = false
+		}
+
+		// On-device inference of the current frame (key frames included:
+		// Algorithm 4 line 12 runs for every frame).
+		mask, _ := student.Infer(frame.Image)
+		now += lat.StudentInference
+		step++
+
+		if i%sc.EvalEvery == 0 {
+			cm.Add(mask, tch.Infer(frame))
+			res.EvalFrames++
+		}
+
+		if !updated && pending != nil {
+			if sc.DelayFrames > 0 {
+				if i+1 >= pending.arrivesFrame {
+					applyUpdate(pending)
+					pending = nil
+				}
+			} else {
+				// Blocking wait at MIN_STRIDE (Algorithm 4 lines 15–17).
+				if step == cfg.MinStride && now < pending.arrivesAt {
+					now = pending.arrivesAt
+				}
+				if now >= pending.arrivesAt {
+					applyUpdate(pending)
+					pending = nil
+				}
+			}
+		}
+	}
+	res.Frames = sc.Frames
+	res.VirtualTime = now
+	res.MeanIoU = cm.MeanIoU()
+	return res, nil
+}
+
+func simulateNaive(sc SimConfig, src video.Source, tch teacher.Teacher, lat ComponentLatencies) (SimResult, error) {
+	res := SimResult{Mode: ModeNaive}
+	var now time.Duration
+	perFrame := sc.Link.TransferTime(hdFrameBytes) + lat.TeacherInference +
+		sc.Link.TransferTime(hdNaiveDown) + sc.NaiveOverheadPerFrame
+	for i := 0; i < sc.Frames; i++ {
+		src.Next()
+		now += perFrame
+		res.BytesUp += int64(hdFrameBytes)
+		res.BytesDown += int64(hdNaiveDown)
+	}
+	res.Frames = sc.Frames
+	res.KeyFrames = sc.Frames // every frame crosses the network
+	res.VirtualTime = now
+	res.MeanIoU = 1 // by definition: teacher output is the reference (§6.3)
+	res.EvalFrames = sc.Frames
+	return res, nil
+}
+
+// SimulateWild runs the pre-trained student with no distillation and
+// returns its accuracy against the teacher (Table 6's "Wild" column).
+func SimulateWild(sc SimConfig, src video.Source, tch teacher.Teacher, student *nn.Student) (SimResult, error) {
+	if sc.EvalEvery <= 0 {
+		sc.EvalEvery = 1
+	}
+	lat := sc.Latencies
+	if lat == (ComponentLatencies{}) {
+		lat = PaperLatencies(true)
+	}
+	res := SimResult{Mode: ModeWild}
+	cm := metrics.NewConfusionMatrix(student.Config.NumClasses)
+	var now time.Duration
+	for i := 0; i < sc.Frames; i++ {
+		frame := src.Next()
+		mask, _ := student.Infer(frame.Image)
+		now += lat.StudentInference
+		if i%sc.EvalEvery == 0 {
+			cm.Add(mask, tch.Infer(frame))
+			res.EvalFrames++
+		}
+	}
+	res.Frames = sc.Frames
+	res.VirtualTime = now
+	res.MeanIoU = cm.MeanIoU()
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// AblationCompression evaluates the §8 future-work codecs on the real
+// partial-distillation diff of this repo's student: bytes on the wire,
+// compression ratio against float32, and worst-case reconstruction error.
+// (The paper ships raw float32; quantization/pruning are its named
+// extensions.)
+func AblationCompression() (*stats.Table, error) {
+	st, err := SharedPretrained()
+	if err != nil {
+		return nil, err
+	}
+	st.SetPartial(true)
+	diff := nn.TrainableSubset(st.Params)
+
+	codecs := []compress.Codec{
+		compress.Raw{},
+		compress.Int8{},
+		compress.Pruned{KeepFraction: 0.25},
+		compress.Pruned{KeepFraction: 0.10},
+	}
+	rawBytes, err := compress.EncodedBytes(compress.Raw{}, diff)
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Ablation: student-diff compression (§8 future work)",
+		"Codec", "Bytes", "vs raw", "Max abs error")
+	for _, c := range codecs {
+		n, err := compress.EncodedBytes(c, diff)
+		if err != nil {
+			return nil, err
+		}
+		e, err := compress.MaxAbsError(c, diff)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.Name(),
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2fx", float64(rawBytes)/float64(n)),
+			fmt.Sprintf("%.4g", e))
+	}
+	return t, nil
+}

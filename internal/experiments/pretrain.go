@@ -1,0 +1,135 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation section, plus the shared student pre-training step ("public
+// education", §4.1.3: the student "should also be pre-trained on relevant
+// data ... Pre-training can be expensive, but it is a one-time cost").
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/loss"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/teacher"
+	"repro/internal/video"
+)
+
+// PretrainConfig controls student pre-training on synthetic "COCO-like"
+// data: frames drawn from all seven categories with fresh seeds, so the
+// student sees every class and background without memorising any stream.
+type PretrainConfig struct {
+	Steps     int     // optimisation steps
+	LR        float32 // Adam learning rate
+	Seed      int64
+	FramesPer int // frames drawn per category generator before reseeding
+}
+
+// DefaultPretrain returns the configuration used by all experiments.
+func DefaultPretrain() PretrainConfig {
+	return PretrainConfig{Steps: 260, LR: 0.004, Seed: 7, FramesPer: 4}
+}
+
+// Pretrain trains a fresh student on mixed-category synthetic frames with
+// teacher (oracle) pseudo-labels and returns it. The resulting student has
+// moderate general skill — by design far below the per-stream THRESHOLD, as
+// the paper's "Wild" row demonstrates (mean mIoU ≈ 17%).
+func Pretrain(cfg PretrainConfig) (*nn.Student, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	student := nn.NewStudent(nn.DefaultStudentConfig(), rng)
+	student.Params.UnfreezeAll()
+	student.SetPartial(false) // pre-training updates everything
+	opt := optim.NewAdam(cfg.LR)
+	tch := teacher.NewOracle(cfg.Seed + 1)
+
+	// Round-robin generators over all categories, reseeded periodically so
+	// the student never overfits one scene (that is the job of shadow
+	// education at run time).
+	gens := make([]*video.Generator, len(video.Categories))
+	reseed := func(epoch int64) error {
+		for i, cat := range video.Categories {
+			g, err := video.NewGenerator(video.CategoryConfig(cat, cfg.Seed+epoch*31+int64(i)))
+			if err != nil {
+				return err
+			}
+			gens[i] = g
+		}
+		return nil
+	}
+	if err := reseed(0); err != nil {
+		return nil, err
+	}
+
+	framesSinceSeed := 0
+	var epoch int64
+	for stepN := 0; stepN < cfg.Steps; stepN++ {
+		g := gens[stepN%len(gens)]
+		// Space samples a second apart so pre-training sees scene variety,
+		// not near-duplicate frames.
+		g.Skip(29)
+		frame := g.Next()
+		label := tch.Infer(frame)
+		weights := loss.PixelWeights(label, frame.Image.Dim(1), frame.Image.Dim(2))
+
+		fc := nn.NewForwardCtx(true)
+		out := student.Forward(fc, frame.Image)
+		_, grad := loss.SoftmaxCrossEntropy(out.Value, label, weights)
+		fc.Tape.Backward(out, grad)
+		params := student.Params.OptimParams(fc.Vars)
+		optim.GradClip(params, 10)
+		opt.Step(params)
+
+		framesSinceSeed++
+		if framesSinceSeed >= cfg.FramesPer*len(gens) {
+			framesSinceSeed = 0
+			epoch++
+			if err := reseed(epoch); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return student, nil
+}
+
+var (
+	pretrainOnce sync.Once
+	pretrained   *nn.Student
+	pretrainErr  error
+)
+
+// SharedPretrained returns a process-wide pre-trained student checkpoint;
+// every experiment clones it, mirroring the paper's protocol ("Every
+// ShadowTutor experiment, whether partial or full distillation, begins from
+// the same pre-trained student checkpoint", §6). The first call trains it
+// (tens of seconds); subsequent calls are free. Set SHADOWTUTOR_PRETRAIN_STEPS
+// to override the step budget (useful in -short test runs).
+func SharedPretrained() (*nn.Student, error) {
+	pretrainOnce.Do(func() {
+		cfg := DefaultPretrain()
+		if s := os.Getenv("SHADOWTUTOR_PRETRAIN_STEPS"); s != "" {
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n > 0 {
+				cfg.Steps = n
+			}
+		}
+		pretrained, pretrainErr = Pretrain(cfg)
+	})
+	if pretrainErr != nil {
+		return nil, pretrainErr
+	}
+	return pretrained.Clone(), nil
+}
+
+// FreshStudentFor clones the shared checkpoint and applies the distillation
+// mode — the entry point every experiment uses.
+func FreshStudentFor(cfg core.Config) (*nn.Student, error) {
+	s, err := SharedPretrained()
+	if err != nil {
+		return nil, err
+	}
+	s.SetPartial(cfg.Partial)
+	return s, nil
+}

@@ -1,0 +1,129 @@
+// Package loss implements the distillation loss used by ShadowTutor for
+// video semantic segmentation: pixel-wise softmax cross-entropy against the
+// teacher's mask, with the LVS-style class-imbalance weighting of §5.2
+// (pixels near or inside non-background objects count ×5).
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ObjectWeight is the loss scale applied to pixels within WeightRadius of a
+// non-background pixel, following the LVS dataset paper's weighting that
+// ShadowTutor adopts directly (§5.2).
+const (
+	ObjectWeight = 5.0
+	WeightRadius = 2
+)
+
+// PixelWeights returns a per-pixel weight map (len H*W) for a label mask:
+// ObjectWeight near/within non-background objects, 1 elsewhere. label holds
+// class indices with 0 = background.
+func PixelWeights(label []int32, h, w int) []float32 {
+	if len(label) != h*w {
+		panic(fmt.Sprintf("loss: label length %d != %dx%d", len(label), h, w))
+	}
+	wts := make([]float32, h*w)
+	for i := range wts {
+		wts[i] = 1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if label[y*w+x] == 0 {
+				continue
+			}
+			y0, y1 := max(0, y-WeightRadius), min(h-1, y+WeightRadius)
+			x0, x1 := max(0, x-WeightRadius), min(w-1, x+WeightRadius)
+			for yy := y0; yy <= y1; yy++ {
+				for xx := x0; xx <= x1; xx++ {
+					wts[yy*w+xx] = ObjectWeight
+				}
+			}
+		}
+	}
+	return wts
+}
+
+// SoftmaxCrossEntropy computes the weighted mean cross-entropy between
+// logits (CHW, C classes) and the integer label mask (len H*W), and the
+// gradient of that loss with respect to the logits. weights may be nil for
+// uniform weighting. The gradient tensor has the logits' shape.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label []int32, weights []float32) (lossVal float64, grad *tensor.Tensor) {
+	c, h, w := logits.Dim(0), logits.Dim(1), logits.Dim(2)
+	hw := h * w
+	if len(label) != hw {
+		panic(fmt.Sprintf("loss: label length %d != spatial size %d", len(label), hw))
+	}
+	if weights != nil && len(weights) != hw {
+		panic(fmt.Sprintf("loss: weights length %d != spatial size %d", len(weights), hw))
+	}
+	grad = tensor.New(c, h, w)
+	var totalLoss, totalWeight float64
+	probs := make([]float64, c)
+	for p := 0; p < hw; p++ {
+		// stable softmax over channels at pixel p
+		m := float64(logits.Data[p])
+		for ch := 1; ch < c; ch++ {
+			if v := float64(logits.Data[ch*hw+p]); v > m {
+				m = v
+			}
+		}
+		var z float64
+		for ch := 0; ch < c; ch++ {
+			e := math.Exp(float64(logits.Data[ch*hw+p]) - m)
+			probs[ch] = e
+			z += e
+		}
+		wt := 1.0
+		if weights != nil {
+			wt = float64(weights[p])
+		}
+		lbl := int(label[p])
+		if lbl < 0 || lbl >= c {
+			panic(fmt.Sprintf("loss: label %d out of range [0,%d)", lbl, c))
+		}
+		totalLoss += -wt * math.Log(probs[lbl]/z+1e-12)
+		totalWeight += wt
+		for ch := 0; ch < c; ch++ {
+			g := probs[ch] / z
+			if ch == lbl {
+				g -= 1
+			}
+			grad.Data[ch*hw+p] = float32(wt * g)
+		}
+	}
+	if totalWeight == 0 {
+		return 0, grad
+	}
+	inv := float32(1 / totalWeight)
+	for i := range grad.Data {
+		grad.Data[i] *= inv
+	}
+	return totalLoss / totalWeight, grad
+}
+
+// Softmax returns per-pixel channel probabilities for CHW logits.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	c, h, w := logits.Dim(0), logits.Dim(1), logits.Dim(2)
+	hw := h * w
+	out := tensor.New(c, h, w)
+	for p := 0; p < hw; p++ {
+		m := float64(logits.Data[p])
+		for ch := 1; ch < c; ch++ {
+			if v := float64(logits.Data[ch*hw+p]); v > m {
+				m = v
+			}
+		}
+		var z float64
+		for ch := 0; ch < c; ch++ {
+			z += math.Exp(float64(logits.Data[ch*hw+p]) - m)
+		}
+		for ch := 0; ch < c; ch++ {
+			out.Data[ch*hw+p] = float32(math.Exp(float64(logits.Data[ch*hw+p])-m) / z)
+		}
+	}
+	return out
+}

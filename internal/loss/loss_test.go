@@ -1,0 +1,184 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestPixelWeightsMarkObjectNeighbourhood(t *testing.T) {
+	// 5x5 mask with one object pixel in the centre.
+	label := make([]int32, 25)
+	label[12] = 3
+	w := PixelWeights(label, 5, 5)
+	// Everything within WeightRadius of the centre gets ObjectWeight.
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			within := abs(y-2) <= WeightRadius && abs(x-2) <= WeightRadius
+			want := float32(1)
+			if within {
+				want = ObjectWeight
+			}
+			if w[y*5+x] != want {
+				t.Fatalf("weight[%d,%d] = %v, want %v", y, x, w[y*5+x], want)
+			}
+		}
+	}
+}
+
+func TestPixelWeightsAllBackground(t *testing.T) {
+	w := PixelWeights(make([]int32, 16), 4, 4)
+	for _, v := range w {
+		if v != 1 {
+			t.Fatal("background-only mask must weight uniformly")
+		}
+	}
+}
+
+func TestPixelWeightsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PixelWeights(make([]int32, 3), 2, 2)
+}
+
+func TestSoftmaxCrossEntropyPerfectPrediction(t *testing.T) {
+	// Logits strongly favouring the correct class → near-zero loss.
+	logits := tensor.New(3, 1, 2)
+	label := []int32{1, 2}
+	logits.Set(20, 1, 0, 0)
+	logits.Set(20, 2, 0, 1)
+	l, grad := SoftmaxCrossEntropy(logits, label, nil)
+	if l > 1e-6 {
+		t.Fatalf("perfect prediction loss = %v", l)
+	}
+	if g := grad.L2Norm(); g > 1e-3 {
+		t.Fatalf("perfect prediction grad norm = %v", g)
+	}
+}
+
+func TestSoftmaxCrossEntropyUniformLogits(t *testing.T) {
+	// Uniform logits over C classes → loss = ln C.
+	logits := tensor.New(4, 1, 1)
+	l, _ := SoftmaxCrossEntropy(logits, []int32{2}, nil)
+	if math.Abs(l-math.Log(4)) > 1e-5 {
+		t.Fatalf("uniform loss = %v, want ln4 = %v", l, math.Log(4))
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	logits := tensor.New(3, 2, 2)
+	for i := range logits.Data {
+		logits.Data[i] = float32(rng.NormFloat64())
+	}
+	label := []int32{0, 1, 2, 1}
+	weights := []float32{1, 5, 1, 5}
+	_, grad := SoftmaxCrossEntropy(logits, label, weights)
+	const eps = 1e-3
+	for _, i := range []int{0, 5, 11} {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy(logits, label, weights)
+		logits.Data[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy(logits, label, weights)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[i])) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("grad[%d]: analytic %v vs numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyWeightsShiftLoss(t *testing.T) {
+	logits := tensor.New(2, 1, 2)
+	logits.Set(2, 0, 0, 0) // pixel 0 biased to class 0
+	logits.Set(2, 0, 0, 1) // pixel 1 biased to class 0 too
+	label := []int32{1, 0} // pixel 0 is wrong, pixel 1 right
+	lUnif, _ := SoftmaxCrossEntropy(logits, label, nil)
+	// Upweighting the wrong pixel must increase the weighted-mean loss.
+	lWrong, _ := SoftmaxCrossEntropy(logits, label, []float32{5, 1})
+	if lWrong <= lUnif {
+		t.Fatalf("upweighting the erroneous pixel should raise loss: %v vs %v", lWrong, lUnif)
+	}
+}
+
+func TestSoftmaxCrossEntropyLabelOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(2, 1, 1), []int32{7}, nil)
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	logits := tensor.New(5, 2, 3)
+	for i := range logits.Data {
+		logits.Data[i] = float32(rng.NormFloat64() * 10)
+	}
+	p := Softmax(logits)
+	hw := 6
+	for px := 0; px < hw; px++ {
+		var s float64
+		for c := 0; c < 5; c++ {
+			v := float64(p.Data[c*hw+px])
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("pixel %d probabilities sum to %v", px, s)
+		}
+	}
+}
+
+// Property: loss is non-negative and grad sums to ~0 per pixel (softmax
+// gradient rows sum to zero).
+func TestQuickCrossEntropyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 2 + rng.Intn(4)
+		h, w := 1+rng.Intn(3), 1+rng.Intn(3)
+		logits := tensor.New(c, h, w)
+		for i := range logits.Data {
+			logits.Data[i] = float32(rng.NormFloat64() * 3)
+		}
+		label := make([]int32, h*w)
+		for i := range label {
+			label[i] = int32(rng.Intn(c))
+		}
+		l, grad := SoftmaxCrossEntropy(logits, label, nil)
+		if l < 0 {
+			return false
+		}
+		hw := h * w
+		for px := 0; px < hw; px++ {
+			var s float64
+			for ch := 0; ch < c; ch++ {
+				s += float64(grad.Data[ch*hw+px])
+			}
+			if math.Abs(s) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

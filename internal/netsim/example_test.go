@@ -1,0 +1,29 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// A link's transfer time is the serialisation delay plus the propagation
+// base; halving bandwidth doubles the serialisation term. The paper's key
+// frame (2.637 MB) takes about 0.26 s at its nominal 80 Mbps.
+func ExampleLink_TransferTime() {
+	for _, bw := range []netsim.Mbps{80, 40} {
+		link := netsim.Link{Bandwidth: bw}
+		fmt.Printf("%2.0f Mbps: %.3fs\n", float64(bw), link.TransferTime(netsim.HDFrameBytes).Seconds())
+	}
+	// Output:
+	// 80 Mbps: 0.264s
+	// 40 Mbps: 0.527s
+}
+
+// TrafficMbps is the unit Table 5 reports: bytes moved per wall-clock time.
+func ExampleTrafficMbps() {
+	// 10 key frames of 3.032 MB total in 60 seconds.
+	total := int64(10 * (2_637_000 + 395_000))
+	fmt.Printf("%.2f Mbps\n", netsim.TrafficMbps(total, 60_000_000_000))
+	// Output:
+	// 4.04 Mbps
+}

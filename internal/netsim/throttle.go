@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ThrottledConn wraps a net.Conn and limits sustained throughput in each
+// direction to the link bandwidth using a token bucket. It is how the real
+// TCP path reproduces the paper's §6.4 bandwidth sweep (90 … 8 Mbps)
+// without kernel traffic shaping.
+type ThrottledConn struct {
+	net.Conn
+	read  *tokenBucket
+	write *tokenBucket
+	acct  *Accountant
+}
+
+// NewThrottledConn wraps conn with the given per-direction bandwidth. acct
+// may be nil. burst is the bucket size in bytes; a burst of one MTU-ish
+// chunk keeps latency realistic.
+func NewThrottledConn(conn net.Conn, bw Mbps, acct *Accountant) *ThrottledConn {
+	const burst = 32 * 1024
+	return &ThrottledConn{
+		Conn:  conn,
+		read:  newTokenBucket(bw.BytesPerSecond(), burst),
+		write: newTokenBucket(bw.BytesPerSecond(), burst),
+		acct:  acct,
+	}
+}
+
+// Read implements net.Conn with download throttling.
+func (c *ThrottledConn) Read(p []byte) (int, error) {
+	if len(p) > 32*1024 {
+		p = p[:32*1024]
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.read.wait(n)
+		if c.acct != nil {
+			c.acct.AddToClient(n)
+		}
+	}
+	return n, err
+}
+
+// Write implements net.Conn with upload throttling.
+func (c *ThrottledConn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		chunk := len(p) - written
+		if chunk > 32*1024 {
+			chunk = 32 * 1024
+		}
+		c.write.wait(chunk)
+		n, err := c.Conn.Write(p[written : written+chunk])
+		written += n
+		if c.acct != nil && n > 0 {
+			c.acct.AddToServer(n)
+		}
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// tokenBucket is a blocking byte-rate limiter.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst float64) *tokenBucket {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %v", rate))
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// wait blocks until n tokens are available, then consumes them.
+func (b *tokenBucket) wait(n int) {
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= float64(n)
+	deficit := -b.tokens
+	b.mu.Unlock()
+	if deficit > 0 {
+		time.Sleep(time.Duration(deficit / b.rate * float64(time.Second)))
+	}
+}

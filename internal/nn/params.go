@@ -1,0 +1,323 @@
+// Package nn builds neural networks on top of internal/tensor and
+// internal/autodiff: the paper's student architecture (Fig. 3), a generic
+// small CNN used as an in-process teacher for tests, parameter registries
+// with freeze support, and binary (de)serialization of weights and weight
+// diffs for the transport layer.
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/autodiff"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Parameter is a named, learnable tensor with a frozen flag. Frozen
+// parameters are registered on tapes with requiresGrad=false, which prunes
+// the backward graph (partial distillation, §4.2).
+type Parameter struct {
+	Name   string
+	Value  *tensor.Tensor
+	Frozen bool
+}
+
+// ParamSet is an ordered collection of parameters keyed by name.
+type ParamSet struct {
+	params []*Parameter
+	byName map[string]*Parameter
+}
+
+// NewParamSet returns an empty parameter set.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: map[string]*Parameter{}}
+}
+
+// Add registers a new parameter; duplicate names panic.
+func (ps *ParamSet) Add(name string, value *tensor.Tensor) *Parameter {
+	if _, dup := ps.byName[name]; dup {
+		panic(fmt.Sprintf("nn: duplicate parameter %q", name))
+	}
+	p := &Parameter{Name: name, Value: value}
+	ps.params = append(ps.params, p)
+	ps.byName[name] = p
+	return p
+}
+
+// Get returns the parameter with the given name, or nil.
+func (ps *ParamSet) Get(name string) *Parameter { return ps.byName[name] }
+
+// All returns parameters in registration order. Callers must not mutate the
+// slice.
+func (ps *ParamSet) All() []*Parameter { return ps.params }
+
+// Names returns all parameter names in registration order.
+func (ps *ParamSet) Names() []string {
+	names := make([]string, len(ps.params))
+	for i, p := range ps.params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// NumParams returns the total element count across all parameters.
+func (ps *ParamSet) NumParams() int {
+	n := 0
+	for _, p := range ps.params {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// NumTrainable returns the element count of non-frozen parameters.
+func (ps *ParamSet) NumTrainable() int {
+	n := 0
+	for _, p := range ps.params {
+		if !p.Frozen {
+			n += p.Value.Len()
+		}
+	}
+	return n
+}
+
+// TrainableFraction returns NumTrainable/NumParams; the paper freezes
+// through SB4 leaving 21.4% trainable (§5.2).
+func (ps *ParamSet) TrainableFraction() float64 {
+	total := ps.NumParams()
+	if total == 0 {
+		return 0
+	}
+	return float64(ps.NumTrainable()) / float64(total)
+}
+
+// FreezePrefix freezes every parameter whose name matches any of the given
+// prefixes and unfreezes the rest. It returns the number frozen.
+func (ps *ParamSet) FreezePrefix(prefixes ...string) int {
+	n := 0
+	for _, p := range ps.params {
+		p.Frozen = false
+		for _, pre := range prefixes {
+			if len(p.Name) >= len(pre) && p.Name[:len(pre)] == pre {
+				p.Frozen = true
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// UnfreezeAll clears every frozen flag (full distillation mode).
+func (ps *ParamSet) UnfreezeAll() {
+	for _, p := range ps.params {
+		p.Frozen = false
+	}
+}
+
+// TrainableNames returns the sorted names of non-frozen parameters.
+func (ps *ParamSet) TrainableNames() []string {
+	var names []string
+	for _, p := range ps.params {
+		if !p.Frozen {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone deep-copies the parameter set (values and frozen flags).
+func (ps *ParamSet) Clone() *ParamSet {
+	out := NewParamSet()
+	for _, p := range ps.params {
+		np := out.Add(p.Name, p.Value.Clone())
+		np.Frozen = p.Frozen
+	}
+	return out
+}
+
+// CopyValuesFrom copies parameter values from src by name. Missing names
+// panic; extra names in src are ignored.
+func (ps *ParamSet) CopyValuesFrom(src *ParamSet) {
+	for _, p := range ps.params {
+		sp := src.Get(p.Name)
+		if sp == nil {
+			panic(fmt.Sprintf("nn: CopyValuesFrom missing parameter %q", p.Name))
+		}
+		p.Value.CopyFrom(sp.Value)
+	}
+}
+
+// ApplyValues copies values from src into ps for every name present in src.
+// Unlike CopyValuesFrom, names absent from src are left untouched, so a
+// trainable-only snapshot can be restored without touching frozen weights.
+func (ps *ParamSet) ApplyValues(src *ParamSet) {
+	for _, sp := range src.All() {
+		if p := ps.Get(sp.Name); p != nil {
+			p.Value.CopyFrom(sp.Value)
+		}
+	}
+}
+
+// OptimParams pairs trainable parameters with gradients pulled from their
+// tape variables, suitable for optim.Optimizer.Step. vars maps name →
+// tape variable of the current forward pass.
+func (ps *ParamSet) OptimParams(vars map[string]*autodiff.Variable) []optim.Param {
+	out := make([]optim.Param, 0, len(ps.params))
+	for _, p := range ps.params {
+		if p.Frozen {
+			continue
+		}
+		v := vars[p.Name]
+		if v == nil {
+			continue
+		}
+		out = append(out, optim.Param{Name: p.Name, Value: p.Value, Grad: v.Grad})
+	}
+	return out
+}
+
+// InitKaiming fills t with Kaiming-He normal initialisation for a conv
+// weight of shape [OC, C, KH, KW] using the provided RNG.
+func InitKaiming(t *tensor.Tensor, rng *rand.Rand) {
+	fanIn := 1
+	if t.Rank() == 4 {
+		fanIn = t.Dim(1) * t.Dim(2) * t.Dim(3)
+	} else if t.Rank() == 2 {
+		fanIn = t.Dim(1)
+	}
+	std := math.Sqrt(2 / float64(fanIn))
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Binary serialization. Format (all little-endian):
+//   uint32 count
+//   repeated: uint16 nameLen, name bytes, uint8 rank, int32 dims…, float32 data…
+// The same framing serves full checkpoints and partial diffs (a diff is just
+// a checkpoint restricted to trainable names).
+// ---------------------------------------------------------------------------
+
+// WriteNamed serializes the given parameters (in order) to w.
+func WriteNamed(w io.Writer, params []*Parameter) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if len(p.Name) > 65535 {
+			return fmt.Errorf("nn: parameter name too long: %d bytes", len(p.Name))
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, p.Name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(w, binary.LittleEndian, uint8(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(w, binary.LittleEndian, int32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNamed parses a stream produced by WriteNamed into fresh parameters.
+func ReadNamed(r io.Reader) ([]*Parameter, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("nn: reading param count: %w", err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("nn: implausible parameter count %d", count)
+	}
+	params := make([]*Parameter, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("nn: reading name length: %w", err)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, fmt.Errorf("nn: reading name: %w", err)
+		}
+		var rank uint8
+		if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+			return nil, fmt.Errorf("nn: reading rank: %w", err)
+		}
+		if rank > 8 {
+			return nil, fmt.Errorf("nn: implausible rank %d", rank)
+		}
+		shape := make([]int, rank)
+		for d := range shape {
+			var dim int32
+			if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+				return nil, fmt.Errorf("nn: reading dim: %w", err)
+			}
+			if dim < 0 || dim > 1<<24 {
+				return nil, fmt.Errorf("nn: implausible dimension %d", dim)
+			}
+			shape[d] = int(dim)
+		}
+		t := tensor.New(shape...)
+		if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+			return nil, fmt.Errorf("nn: reading data for %q: %w", nameBuf, err)
+		}
+		params = append(params, &Parameter{Name: string(nameBuf), Value: t})
+	}
+	return params, nil
+}
+
+// EncodedSize returns the exact byte size WriteNamed will produce for the
+// given parameters. The network simulator uses it to account transfers.
+func EncodedSize(params []*Parameter) int {
+	n := 4
+	for _, p := range params {
+		n += 2 + len(p.Name) + 1 + 4*p.Value.Rank() + 4*p.Value.Len()
+	}
+	return n
+}
+
+// TrainableSubset returns the non-frozen parameters of ps (the "updated
+// part" of Algorithm 3's ToClient call under partial distillation).
+func TrainableSubset(ps *ParamSet) []*Parameter {
+	var out []*Parameter
+	for _, p := range ps.All() {
+		if !p.Frozen {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ApplyNamed copies values from the given parameters into ps by name
+// (Algorithm 4's ApplyUpdate). Unknown names return an error; shape
+// mismatches return an error.
+func ApplyNamed(ps *ParamSet, params []*Parameter) error {
+	for _, p := range params {
+		dst := ps.Get(p.Name)
+		if dst == nil {
+			return fmt.Errorf("nn: ApplyNamed: unknown parameter %q", p.Name)
+		}
+		if !dst.Value.SameShape(p.Value) {
+			return fmt.Errorf("nn: ApplyNamed: shape mismatch for %q: %v vs %v",
+				p.Name, dst.Value.Shape(), p.Value.Shape())
+		}
+		dst.Value.CopyFrom(p.Value)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+)
+
+// StudentConfig sizes the student network of Fig. 3b. The defaults mirror
+// the paper's channel progression (8, 64, 64, 128, 128, 128, 96, 32, 32, 9)
+// scaled down so pure-Go online distillation stays interactive; the
+// architecture (two stem convs, six student blocks, SB1/SB2 skip concats,
+// three output convs) is unchanged.
+type StudentConfig struct {
+	InChannels int // input image channels (3 = RGB)
+	NumClasses int // output classes incl. background (paper: 8+1)
+	Stem1      int // in1 output channels (stride 2)
+	Stem2      int // in2 output channels (stride 2)
+	B1, B2     int // SB1 (stride 1), SB2 (stride 2) channels
+	B3, B4     int // SB3, SB4 channels (the frozen backbone tail)
+	B5, B6     int // SB5, SB6 channels (decoder, always trainable)
+	Head       int // out1/out2 channels before the classifier
+}
+
+// DefaultStudentConfig returns the configuration used throughout the
+// reproduction: ~60k parameters at 96×64 input, with the decoder cut at SB5
+// giving a trainable fraction close to the paper's 21.4%.
+func DefaultStudentConfig() StudentConfig {
+	return StudentConfig{
+		InChannels: 3, NumClasses: 9,
+		Stem1: 8, Stem2: 24,
+		B1: 24, B2: 56,
+		B3: 56, B4: 56,
+		B5: 24, B6: 16,
+		Head: 16,
+	}
+}
+
+// FreezePrefixes returns the parameter-name prefixes that partial
+// distillation freezes: everything from the input stem through SB4 (§5.2:
+// "we freeze the student from the first layer to SB4, only computing
+// gradients until SB5").
+func FreezePrefixes() []string {
+	return []string{"in1", "in2", "sb1", "sb2", "sb3", "sb4"}
+}
+
+// Student is the paper's student model (Fig. 3b): a fully-convolutional
+// encoder–decoder. in1 and in2 downsample by 2× each; SB2 downsamples once
+// more; SB5 and SB6 upsample back, consuming skip concats from SB2 and SB1
+// respectively; the head restores full resolution logits.
+type Student struct {
+	Config StudentConfig
+	Params *ParamSet
+
+	in1, in2                     *Conv2D
+	sb1, sb2, sb3, sb4, sb5, sb6 *StudentBlock
+	out1, out2, out3             *Conv2D
+}
+
+// NewStudent builds a freshly initialised student from cfg using rng.
+func NewStudent(cfg StudentConfig, rng *rand.Rand) *Student {
+	ps := NewParamSet()
+	s := &Student{Config: cfg, Params: ps}
+	s.in1 = NewConv2D(ps, "in1", cfg.InChannels, cfg.Stem1, tensor.Spec(3, 3).WithStride(2), true, rng)
+	s.in2 = NewConv2D(ps, "in2", cfg.Stem1, cfg.Stem2, tensor.Spec(3, 3).WithStride(2), true, rng)
+	s.sb1 = NewStudentBlock(ps, "sb1", cfg.Stem2, cfg.B1, 1, rng)
+	s.sb2 = NewStudentBlock(ps, "sb2", cfg.B1, cfg.B2, 2, rng)
+	s.sb3 = NewStudentBlock(ps, "sb3", cfg.B2, cfg.B3, 1, rng)
+	s.sb4 = NewStudentBlock(ps, "sb4", cfg.B3, cfg.B4, 1, rng)
+	// SB5 consumes SB4 output concatenated with the SB2 skip.
+	s.sb5 = NewStudentBlock(ps, "sb5", cfg.B4+cfg.B2, cfg.B5, 1, rng)
+	// SB6 runs at 1/4 resolution, consuming upsampled SB5 + the SB1 skip.
+	s.sb6 = NewStudentBlock(ps, "sb6", cfg.B5+cfg.B1, cfg.B6, 1, rng)
+	s.out1 = NewConv2D(ps, "out1", cfg.B6, cfg.Head, tensor.Spec(3, 3), true, rng)
+	s.out2 = NewConv2D(ps, "out2", cfg.Head, cfg.Head, tensor.Spec(3, 3), true, rng)
+	s.out3 = NewConv2D(ps, "out3", cfg.Head, cfg.NumClasses, tensor.Spec(1, 1), true, rng)
+	return s
+}
+
+// NewStudentForWire builds a default-architecture student with throwaway
+// initialisation, intended to be overwritten by a checkpoint received over
+// the network (the client side of Algorithm 3 line 1: the server "can
+// simply supply the student weights when the system starts", §4.1.3).
+func NewStudentForWire() *Student {
+	return NewStudent(DefaultStudentConfig(), rand.New(rand.NewSource(1)))
+}
+
+// Forward runs the network on a CHW image (values in [0,1]) and returns the
+// logits variable [NumClasses, H, W]. Input spatial dimensions must be
+// multiples of 8.
+func (s *Student) Forward(fc *ForwardCtx, img *tensor.Tensor) *autodiff.Variable {
+	CheckCHW(img, s.Config.InChannels)
+	if img.Dim(1)%8 != 0 || img.Dim(2)%8 != 0 {
+		panic(fmt.Sprintf("nn: student input %v must have spatial dims divisible by 8", img.Shape()))
+	}
+	t := fc.Tape
+	x := t.Constant(img)
+	h1 := t.ReLU(s.in1.Forward(fc, x))                // 1/2 res, Stem1 ch
+	h2 := t.ReLU(s.in2.Forward(fc, h1))               // 1/4 res, Stem2 ch
+	f1 := s.sb1.Forward(fc, h2)                       // 1/4 res, B1 ch  (skip → SB6)
+	f2 := s.sb2.Forward(fc, f1)                       // 1/8 res, B2 ch  (skip → SB5)
+	f3 := s.sb3.Forward(fc, f2)                       // 1/8 res
+	f4 := s.sb4.Forward(fc, f3)                       // 1/8 res — frozen boundary
+	c5 := t.Concat(f4, f2)                            // 1/8 res, B4+B2 ch
+	f5 := s.sb5.Forward(fc, c5)                       // 1/8 res, B5 ch
+	u5 := t.Upsample2x(f5)                            // 1/4 res
+	c6 := t.Concat(u5, f1)                            // 1/4 res, B5+B1 ch
+	f6 := s.sb6.Forward(fc, c6)                       // 1/4 res, B6 ch
+	o := t.ReLU(s.out1.Forward(fc, t.Upsample2x(f6))) // 1/2 res
+	o = t.ReLU(s.out2.Forward(fc, o))
+	o = s.out3.Forward(fc, t.Upsample2x(o)) // full res logits
+	return o
+}
+
+// Infer runs a gradient-free forward pass and returns the argmax mask
+// (len H*W) plus the raw logits.
+func (s *Student) Infer(img *tensor.Tensor) (mask []int32, logits *tensor.Tensor) {
+	fc := NewForwardCtx(false)
+	out := s.Forward(fc, img)
+	logits = out.Value
+	return logits.ArgmaxChannel(nil), logits
+}
+
+// SetPartial configures the freeze state: partial=true freezes the stem
+// through SB4 (paper §5.2); partial=false unfreezes everything except BN
+// running statistics.
+func (s *Student) SetPartial(partial bool) {
+	if partial {
+		s.Params.FreezePrefix(FreezePrefixes()...)
+	} else {
+		s.Params.UnfreezeAll()
+	}
+	// Running statistics are buffers regardless of mode.
+	for _, p := range s.Params.All() {
+		if hasSuffix(p.Name, ".rmean") || hasSuffix(p.Name, ".rvar") {
+			p.Frozen = true
+		}
+	}
+}
+
+// Clone deep-copies the student (weights, frozen flags, config).
+func (s *Student) Clone() *Student {
+	c := NewStudent(s.Config, rand.New(rand.NewSource(0)))
+	c.Params.CopyValuesFrom(s.Params)
+	for i, p := range s.Params.All() {
+		c.Params.All()[i].Frozen = p.Frozen
+	}
+	return c
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

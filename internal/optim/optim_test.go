@@ -1,0 +1,173 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// quadratic loss f(x) = Σ (x_i - target)² with gradient 2(x - target).
+func quadGrad(x *tensor.Tensor, target float32) *tensor.Tensor {
+	g := tensor.New(x.Shape()...)
+	for i := range x.Data {
+		g.Data[i] = 2 * (x.Data[i] - target)
+	}
+	return g
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	x := tensor.Full(5, 4)
+	opt := NewSGD(0.1, 0)
+	for i := 0; i < 100; i++ {
+		opt.Step([]Param{{Name: "x", Value: x, Grad: quadGrad(x, 2)}})
+	}
+	for _, v := range x.Data {
+		if math.Abs(float64(v)-2) > 1e-3 {
+			t.Fatalf("SGD did not converge: %v", x.Data)
+		}
+	}
+}
+
+func TestSGDMomentumFasterThanPlain(t *testing.T) {
+	lossAfter := func(momentum float32, steps int) float64 {
+		x := tensor.Full(5, 1)
+		opt := NewSGD(0.02, momentum)
+		for i := 0; i < steps; i++ {
+			opt.Step([]Param{{Name: "x", Value: x, Grad: quadGrad(x, 0)}})
+		}
+		return math.Abs(float64(x.Data[0]))
+	}
+	if lossAfter(0.9, 25) >= lossAfter(0, 25) {
+		t.Fatal("momentum should accelerate convergence on a smooth quadratic")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	x := tensor.Full(-3, 4)
+	opt := NewAdam(0.1)
+	for i := 0; i < 300; i++ {
+		opt.Step([]Param{{Name: "x", Value: x, Grad: quadGrad(x, 1)}})
+	}
+	for _, v := range x.Data {
+		if math.Abs(float64(v)-1) > 1e-2 {
+			t.Fatalf("Adam did not converge: %v", x.Data)
+		}
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the first Adam step is ≈ lr × sign(grad).
+	x := tensor.Full(0, 1)
+	opt := NewAdam(0.01)
+	g := tensor.Full(3, 1)
+	opt.Step([]Param{{Name: "x", Value: x, Grad: g}})
+	if math.Abs(float64(x.Data[0])+0.01) > 1e-4 {
+		t.Fatalf("first Adam step = %v, want ≈ -0.01", x.Data[0])
+	}
+}
+
+func TestNilGradSkipped(t *testing.T) {
+	x := tensor.Full(1, 2)
+	for _, opt := range []Optimizer{NewSGD(0.5, 0.9), NewAdam(0.5)} {
+		opt.Step([]Param{{Name: "x", Value: x, Grad: nil}})
+		if x.Data[0] != 1 {
+			t.Fatal("nil gradient must leave the parameter untouched")
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	x := tensor.Full(1, 1)
+	a := NewAdam(0.1)
+	a.Step([]Param{{Name: "x", Value: x, Grad: tensor.Full(1, 1)}})
+	if len(a.StateNames()) != 1 {
+		t.Fatalf("state names = %v", a.StateNames())
+	}
+	a.Reset()
+	if len(a.StateNames()) != 0 {
+		t.Fatal("Reset must clear Adam state")
+	}
+	s := NewSGD(0.1, 0.9)
+	s.Step([]Param{{Name: "x", Value: x, Grad: tensor.Full(1, 1)}})
+	s.Reset()
+	if len(s.velocity) != 0 {
+		t.Fatal("Reset must clear SGD velocity")
+	}
+}
+
+func TestGradClipScalesDown(t *testing.T) {
+	g1 := tensor.Full(3, 4) // norm 6
+	g2 := tensor.Full(4, 4) // norm 8; global norm 10
+	params := []Param{
+		{Name: "a", Value: tensor.New(4), Grad: g1},
+		{Name: "b", Value: tensor.New(4), Grad: g2},
+	}
+	pre := GradClip(params, 5)
+	if math.Abs(pre-10) > 1e-6 {
+		t.Fatalf("pre-clip norm = %v, want 10", pre)
+	}
+	var total float64
+	for _, p := range params {
+		n := p.Grad.L2Norm()
+		total += n * n
+	}
+	if math.Abs(math.Sqrt(total)-5) > 1e-4 {
+		t.Fatalf("post-clip norm = %v, want 5", math.Sqrt(total))
+	}
+}
+
+func TestGradClipNoopWhenSmall(t *testing.T) {
+	g := tensor.Full(1, 2)
+	GradClip([]Param{{Name: "a", Value: tensor.New(2), Grad: g}}, 100)
+	if g.Data[0] != 1 {
+		t.Fatal("clip must not rescale small gradients")
+	}
+}
+
+// Property: after GradClip the global norm never exceeds the cap.
+func TestQuickGradClipBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		g := tensor.New(n)
+		for i := range g.Data {
+			g.Data[i] = float32(rng.NormFloat64() * 10)
+		}
+		params := []Param{{Name: "x", Value: tensor.New(n), Grad: g}}
+		cap := 0.1 + rng.Float64()*5
+		GradClip(params, cap)
+		return g.L2Norm() <= cap*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: one SGD step moves each coordinate opposite to its gradient.
+func TestQuickSGDDescentDirection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		x := tensor.New(n)
+		g := tensor.New(n)
+		for i := range x.Data {
+			x.Data[i] = float32(rng.NormFloat64())
+			g.Data[i] = float32(rng.NormFloat64())
+		}
+		before := x.Clone()
+		NewSGD(0.1, 0).Step([]Param{{Name: "x", Value: x, Grad: g}})
+		for i := range x.Data {
+			moved := float64(x.Data[i] - before.Data[i])
+			if g.Data[i] != 0 && moved*float64(g.Data[i]) > 0 {
+				return false // moved with the gradient: ascent, not descent
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}

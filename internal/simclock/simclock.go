@@ -1,0 +1,121 @@
+// Package simclock provides a deterministic virtual clock and a minimal
+// event calendar. The throughput/traffic experiments (Tables 3 and 5,
+// Figure 4) compose the paper's measured component latencies (Table 1
+// notation: t_si, t_sd, t_ti, t_net) on this clock instead of wall time, so
+// results are exact and independent of the host machine.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual time source. The zero value starts at time 0.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves time forward by d; negative d panics.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves time to t, which must not be in the past.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: AdvanceTo %v before now %v", t, c.now))
+	}
+	c.now = t
+}
+
+// Event is a scheduled occurrence on the calendar.
+type Event struct {
+	At      time.Duration
+	Payload any
+	seq     int // tie-break so equal-time events pop FIFO
+	index   int
+}
+
+// Calendar is a deterministic min-heap event queue bound to a Clock.
+type Calendar struct {
+	clock *Clock
+	h     eventHeap
+	seq   int
+}
+
+// NewCalendar returns an empty calendar over clock.
+func NewCalendar(clock *Clock) *Calendar { return &Calendar{clock: clock} }
+
+// Schedule enqueues payload to fire at absolute virtual time at. Scheduling
+// in the past panics — the simulation is strictly causal.
+func (c *Calendar) Schedule(at time.Duration, payload any) *Event {
+	if at < c.clock.Now() {
+		panic(fmt.Sprintf("simclock: scheduling at %v before now %v", at, c.clock.Now()))
+	}
+	e := &Event{At: at, Payload: payload, seq: c.seq}
+	c.seq++
+	heap.Push(&c.h, e)
+	return e
+}
+
+// ScheduleAfter enqueues payload d after now.
+func (c *Calendar) ScheduleAfter(d time.Duration, payload any) *Event {
+	return c.Schedule(c.clock.Now()+d, payload)
+}
+
+// Len returns the number of pending events.
+func (c *Calendar) Len() int { return len(c.h) }
+
+// PeekTime returns the time of the earliest pending event.
+func (c *Calendar) PeekTime() (time.Duration, bool) {
+	if len(c.h) == 0 {
+		return 0, false
+	}
+	return c.h[0].At, true
+}
+
+// Pop advances the clock to the earliest event and returns it; ok=false when
+// the calendar is empty.
+func (c *Calendar) Pop() (*Event, bool) {
+	if len(c.h) == 0 {
+		return nil, false
+	}
+	e := heap.Pop(&c.h).(*Event)
+	c.clock.AdvanceTo(e.At)
+	return e, true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,149 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock must start at 0")
+	}
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	if c.Now() != 1500*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	var c Clock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Advance(-time.Nanosecond)
+}
+
+func TestAdvanceToBackwardsPanics(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.AdvanceTo(500 * time.Millisecond)
+}
+
+func TestCalendarPopsInOrder(t *testing.T) {
+	var c Clock
+	cal := NewCalendar(&c)
+	cal.Schedule(3*time.Second, "c")
+	cal.Schedule(1*time.Second, "a")
+	cal.Schedule(2*time.Second, "b")
+	var got []string
+	for {
+		e, ok := cal.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, e.Payload.(string))
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("pop order %v", got)
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("clock after drain = %v", c.Now())
+	}
+}
+
+func TestCalendarFIFOForEqualTimes(t *testing.T) {
+	var c Clock
+	cal := NewCalendar(&c)
+	for i := 0; i < 5; i++ {
+		cal.Schedule(time.Second, i)
+	}
+	for i := 0; i < 5; i++ {
+		e, _ := cal.Pop()
+		if e.Payload.(int) != i {
+			t.Fatalf("equal-time events must pop FIFO: got %v at %d", e.Payload, i)
+		}
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	cal := NewCalendar(&c)
+	cal.ScheduleAfter(2*time.Second, nil)
+	at, ok := cal.PeekTime()
+	if !ok || at != 3*time.Second {
+		t.Fatalf("PeekTime = %v, %v", at, ok)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	cal := NewCalendar(&c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cal.Schedule(500*time.Millisecond, nil)
+}
+
+func TestPopEmpty(t *testing.T) {
+	cal := NewCalendar(&Clock{})
+	if _, ok := cal.Pop(); ok {
+		t.Fatal("empty calendar must report !ok")
+	}
+	if _, ok := cal.PeekTime(); ok {
+		t.Fatal("empty PeekTime must report !ok")
+	}
+	if cal.Len() != 0 {
+		t.Fatal("empty Len")
+	}
+}
+
+// Property: any set of scheduled events pops in nondecreasing time order
+// and the clock ends at the max event time.
+func TestQuickCalendarOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		var c Clock
+		cal := NewCalendar(&c)
+		var maxAt time.Duration
+		for _, o := range offsets {
+			at := time.Duration(o) * time.Millisecond
+			cal.Schedule(at, nil)
+			if at > maxAt {
+				maxAt = at
+			}
+		}
+		var popped []time.Duration
+		for {
+			e, ok := cal.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, e.At)
+		}
+		if !sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] }) {
+			return false
+		}
+		return c.Now() == maxAt && len(popped) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}

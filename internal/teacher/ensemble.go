@@ -1,0 +1,128 @@
+package teacher
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/video"
+)
+
+// Ensemble combines multiple teachers by per-pixel majority vote — the
+// "distill knowledge from an ensemble of different teacher models"
+// extension the original knowledge-distillation paper proposes and §7
+// surveys. Ties break towards the earliest teacher in the list (the
+// "primary" teacher).
+type Ensemble struct {
+	Teachers []Teacher
+}
+
+// NewEnsemble wraps the given teachers; at least one is required.
+func NewEnsemble(teachers ...Teacher) (*Ensemble, error) {
+	if len(teachers) == 0 {
+		return nil, fmt.Errorf("teacher: ensemble needs at least one member")
+	}
+	return &Ensemble{Teachers: teachers}, nil
+}
+
+// Name implements Teacher.
+func (e *Ensemble) Name() string {
+	name := "ensemble("
+	for i, t := range e.Teachers {
+		if i > 0 {
+			name += "+"
+		}
+		name += t.Name()
+	}
+	return name + ")"
+}
+
+// Infer implements Teacher by majority vote over member outputs.
+func (e *Ensemble) Infer(f video.Frame) []int32 {
+	if len(e.Teachers) == 1 {
+		return e.Teachers[0].Infer(f)
+	}
+	masks := make([][]int32, len(e.Teachers))
+	for i, t := range e.Teachers {
+		masks[i] = t.Infer(f)
+	}
+	n := len(masks[0])
+	out := make([]int32, n)
+	var votes [video.NumClasses]int
+	for p := 0; p < n; p++ {
+		for c := range votes {
+			votes[c] = 0
+		}
+		for _, m := range masks {
+			votes[m[p]]++
+		}
+		best := masks[0][p] // primary teacher wins ties
+		bestVotes := votes[best]
+		for c := int32(0); c < video.NumClasses; c++ {
+			if votes[c] > bestVotes {
+				best = c
+				bestVotes = votes[c]
+			}
+		}
+		out[p] = best
+	}
+	return out
+}
+
+// DataDistillation ensembles a single teacher's outputs over transformed
+// copies of the input — Radosavovic et al.'s scheme cited in §7. The only
+// transform whose labels map back exactly on a segmentation mask is the
+// horizontal flip, so the ensemble is {identity, hflip}. Agreement wins;
+// disagreement falls back to the identity view.
+type DataDistillation struct {
+	Base Teacher
+}
+
+// Name implements Teacher.
+func (d *DataDistillation) Name() string { return "datadistill(" + d.Base.Name() + ")" }
+
+// Infer implements Teacher.
+func (d *DataDistillation) Infer(f video.Frame) []int32 {
+	direct := d.Base.Infer(f)
+	flipped := d.Base.Infer(flipFrame(f))
+	h := f.Image.Dim(1)
+	w := f.Image.Dim(2)
+	out := make([]int32, len(direct))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			j := y*w + (w - 1 - x) // position in the flipped mask
+			if direct[i] == flipped[j] {
+				out[i] = direct[i]
+			} else {
+				out[i] = direct[i] // fall back to the identity view
+			}
+		}
+	}
+	return out
+}
+
+// flipFrame returns a horizontally mirrored copy of the frame (image and
+// label).
+func flipFrame(f video.Frame) video.Frame {
+	c, h, w := f.Image.Dim(0), f.Image.Dim(1), f.Image.Dim(2)
+	img := tensor.New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			src := f.Image.Data[ch*h*w+y*w : ch*h*w+(y+1)*w]
+			dst := img.Data[ch*h*w+y*w : ch*h*w+(y+1)*w]
+			for x := 0; x < w; x++ {
+				dst[x] = src[w-1-x]
+			}
+		}
+	}
+	var label []int32
+	if f.Label != nil {
+		label = make([]int32, len(f.Label))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				label[y*w+x] = f.Label[y*w+(w-1-x)]
+			}
+		}
+	}
+	return video.Frame{Index: f.Index, Image: img, Label: label}
+}

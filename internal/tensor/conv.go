@@ -1,0 +1,302 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2-D convolution: kernel height/width, stride and
+// symmetric zero padding. The student blocks of the paper use 3×3, 3×1,
+// 1×3 and 1×1 kernels (Fig. 3a), all expressible here.
+type ConvSpec struct {
+	KH, KW int // kernel height, width
+	SH, SW int // stride
+	PH, PW int // padding
+}
+
+// Spec constructs a ConvSpec with stride 1 and "same" padding for odd
+// kernels (pad = (k-1)/2).
+func Spec(kh, kw int) ConvSpec {
+	return ConvSpec{KH: kh, KW: kw, SH: 1, SW: 1, PH: (kh - 1) / 2, PW: (kw - 1) / 2}
+}
+
+// WithStride returns a copy of s with both strides set to st.
+func (s ConvSpec) WithStride(st int) ConvSpec {
+	s.SH, s.SW = st, st
+	return s
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (s ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*s.PH-s.KH)/s.SH + 1
+	ow = (w+2*s.PW-s.KW)/s.SW + 1
+	return
+}
+
+// Im2col lowers a CHW input into a matrix of shape [OH*OW, C*KH*KW] so the
+// convolution becomes one matmul against the [C*KH*KW, OC] weight matrix.
+// dst may be nil; the (possibly re-used) matrix is returned.
+func Im2col(x *Tensor, s ConvSpec, dst *Tensor) *Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2col requires CHW input, got %v", x.Shape()))
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := s.OutSize(h, w)
+	cols := c * s.KH * s.KW
+	rows := oh * ow
+	if dst == nil || dst.Len() != rows*cols {
+		dst = New(rows, cols)
+	} else {
+		dst = dst.Reshape(rows, cols)
+		dst.Zero()
+	}
+	xd, dd := x.Data, dst.Data
+	Parallel(oh, 4, func(lo, hi int) {
+		for oy := lo; oy < hi; oy++ {
+			iy0 := oy*s.SH - s.PH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*s.SW - s.PW
+				row := (oy*ow + ox) * cols
+				for ch := 0; ch < c; ch++ {
+					base := ch * h * w
+					col := row + ch*s.KH*s.KW
+					for ky := 0; ky < s.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := base + iy*w
+						d := col + ky*s.KW
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dd[d+kx] = xd[src+ix]
+						}
+					}
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// Col2im scatters a [OH*OW, C*KH*KW] matrix back into a CHW tensor of shape
+// [c,h,w], accumulating overlapping contributions. It is the adjoint of
+// Im2col and is used for input gradients in conv backward.
+func Col2im(cols *Tensor, s ConvSpec, c, h, w int) *Tensor {
+	oh, ow := s.OutSize(h, w)
+	ncol := c * s.KH * s.KW
+	if cols.Len() != oh*ow*ncol {
+		panic(fmt.Sprintf("tensor: Col2im size mismatch: %d elems for out %dx%d, cols %d", cols.Len(), oh, ow, ncol))
+	}
+	out := New(c, h, w)
+	cd, od := cols.Data, out.Data
+	// Parallelise over channels: each channel's scatter touches a disjoint
+	// region of the output, so no synchronisation is needed.
+	Parallel(c, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			base := ch * h * w
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*s.SH - s.PH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*s.SW - s.PW
+					row := (oy*ow+ox)*ncol + ch*s.KH*s.KW
+					for ky := 0; ky < s.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						dst := base + iy*w
+						src := row + ky*s.KW
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							od[dst+ix] += cd[src+kx]
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Conv2D applies weights w of shape [OC, C, KH, KW] and bias b (len OC, may
+// be nil) to a CHW input, returning [OC, OH, OW]. Implementation: im2col +
+// matmul.
+func Conv2D(x, w, b *Tensor, s ConvSpec) *Tensor {
+	oc := w.Dim(0)
+	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
+	if w.Dim(1) != c || w.Dim(2) != s.KH || w.Dim(3) != s.KW {
+		panic(fmt.Sprintf("tensor: Conv2D weight %v incompatible with input %v spec %+v", w.Shape(), x.Shape(), s))
+	}
+	oh, ow := s.OutSize(h, wid)
+	cols := Im2col(x, s, nil)          // [OH*OW, C*KH*KW]
+	wmat := w.Reshape(oc, c*s.KH*s.KW) // [OC, CKK]
+	out := MatMulABT(cols, wmat)       // [OH*OW, OC]
+	res := New(oc, oh, ow)             // transpose to [OC, OH, OW]
+	hw := oh * ow
+	for p := 0; p < hw; p++ {
+		row := out.Data[p*oc : (p+1)*oc]
+		for ch := 0; ch < oc; ch++ {
+			res.Data[ch*hw+p] = row[ch]
+		}
+	}
+	if b != nil {
+		if b.Len() != oc {
+			panic(fmt.Sprintf("tensor: Conv2D bias len %d != out channels %d", b.Len(), oc))
+		}
+		for ch := 0; ch < oc; ch++ {
+			bias := b.Data[ch]
+			seg := res.Data[ch*hw : (ch+1)*hw]
+			for i := range seg {
+				seg[i] += bias
+			}
+		}
+	}
+	return res
+}
+
+// Conv2DBackward computes gradients of a Conv2D call. gy is the output
+// gradient [OC, OH, OW]. It returns (dx, dw, db); dx is nil when needInput
+// is false (the partial-distillation path stops input gradients at the
+// frozen boundary, §4.2 of the paper).
+func Conv2DBackward(x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *Tensor) {
+	oc := w.Dim(0)
+	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := s.OutSize(h, wid)
+	hw := oh * ow
+	// gy as matrix [OH*OW, OC]
+	gmat := New(hw, oc)
+	for ch := 0; ch < oc; ch++ {
+		seg := gy.Data[ch*hw : (ch+1)*hw]
+		for p, v := range seg {
+			gmat.Data[p*oc+ch] = v
+		}
+	}
+	cols := Im2col(x, s, nil) // [OH*OW, CKK]
+	// dW = gyᵀ × cols → [OC, CKK]
+	dwMat := MatMulATB(gmat, cols)
+	dw = dwMat.Reshape(oc, c, s.KH, s.KW)
+	// db = column sums of gy
+	db = New(oc)
+	for ch := 0; ch < oc; ch++ {
+		var sum float32
+		seg := gy.Data[ch*hw : (ch+1)*hw]
+		for _, v := range seg {
+			sum += v
+		}
+		db.Data[ch] = sum
+	}
+	if needInput {
+		wmat := w.Reshape(oc, c*s.KH*s.KW)
+		dcols := MatMul(gmat, wmat) // [OH*OW, CKK]
+		dx = Col2im(dcols, s, c, h, wid)
+	}
+	return dx, dw, db
+}
+
+// UpsampleNearest2x doubles the spatial size of a CHW tensor by
+// nearest-neighbour replication.
+func UpsampleNearest2x(x *Tensor) *Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := New(c, h*2, w*2)
+	Parallel(c, 1, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			for y := 0; y < h; y++ {
+				src := x.Data[ch*h*w+y*w : ch*h*w+(y+1)*w]
+				d0 := out.Data[ch*4*h*w+(2*y)*2*w:]
+				d1 := out.Data[ch*4*h*w+(2*y+1)*2*w:]
+				for xx, v := range src {
+					d0[2*xx], d0[2*xx+1] = v, v
+					d1[2*xx], d1[2*xx+1] = v, v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// UpsampleNearest2xBackward sums each 2×2 output-gradient block back into
+// the corresponding input cell.
+func UpsampleNearest2xBackward(gy *Tensor) *Tensor {
+	c, h2, w2 := gy.Dim(0), gy.Dim(1), gy.Dim(2)
+	h, w := h2/2, w2/2
+	out := New(c, h, w)
+	Parallel(c, 1, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			for y := 0; y < h; y++ {
+				g0 := gy.Data[ch*h2*w2+(2*y)*w2:]
+				g1 := gy.Data[ch*h2*w2+(2*y+1)*w2:]
+				dst := out.Data[ch*h*w+y*w : ch*h*w+(y+1)*w]
+				for xx := range dst {
+					dst[xx] = g0[2*xx] + g0[2*xx+1] + g1[2*xx] + g1[2*xx+1]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// AvgPool2x2 halves the spatial size of a CHW tensor by 2×2 mean pooling.
+// Odd trailing rows/columns are dropped.
+func AvgPool2x2(x *Tensor) *Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := h/2, w/2
+	out := New(c, oh, ow)
+	Parallel(c, 1, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			for y := 0; y < oh; y++ {
+				s0 := x.Data[ch*h*w+(2*y)*w:]
+				s1 := x.Data[ch*h*w+(2*y+1)*w:]
+				dst := out.Data[ch*oh*ow+y*ow : ch*oh*ow+(y+1)*ow]
+				for xx := range dst {
+					dst[xx] = (s0[2*xx] + s0[2*xx+1] + s1[2*xx] + s1[2*xx+1]) * 0.25
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Concat stacks CHW tensors along the channel axis. All inputs must share
+// spatial dimensions.
+func Concat(xs ...*Tensor) *Tensor {
+	if len(xs) == 0 {
+		panic("tensor: Concat of zero tensors")
+	}
+	h, w := xs[0].Dim(1), xs[0].Dim(2)
+	total := 0
+	for _, x := range xs {
+		if x.Dim(1) != h || x.Dim(2) != w {
+			panic(fmt.Sprintf("tensor: Concat spatial mismatch %v vs %dx%d", x.Shape(), h, w))
+		}
+		total += x.Dim(0)
+	}
+	out := New(total, h, w)
+	off := 0
+	for _, x := range xs {
+		copy(out.Data[off:], x.Data)
+		off += x.Len()
+	}
+	return out
+}
+
+// SplitChannels splits the gradient of a Concat back into per-input pieces
+// with the given channel counts.
+func SplitChannels(g *Tensor, chans []int) []*Tensor {
+	h, w := g.Dim(1), g.Dim(2)
+	outs := make([]*Tensor, len(chans))
+	off := 0
+	for i, c := range chans {
+		t := New(c, h, w)
+		copy(t.Data, g.Data[off:off+t.Len()])
+		outs[i] = t
+		off += t.Len()
+	}
+	if off != g.Len() {
+		panic(fmt.Sprintf("tensor: SplitChannels consumed %d of %d elems", off, g.Len()))
+	}
+	return outs
+}

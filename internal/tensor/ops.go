@@ -1,0 +1,216 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise. Shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInto writes a + b into dst (which may alias a or b).
+func AddInto(dst, a, b *Tensor) {
+	checkSame("AddInto", a, b)
+	checkSame("AddInto dst", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns a * s elementwise.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AxpyInto computes dst += alpha * x, the BLAS axpy primitive.
+func AxpyInto(dst *Tensor, alpha float32, x *Tensor) {
+	checkSame("AxpyInto", dst, x)
+	for i := range dst.Data {
+		dst.Data[i] += alpha * x.Data[i]
+	}
+}
+
+// ReLU returns max(a, 0) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// ReLUGrad returns grad masked by the positive entries of forward input x:
+// dx[i] = grad[i] if x[i] > 0 else 0.
+func ReLUGrad(x, grad *Tensor) *Tensor {
+	checkSame("ReLUGrad", x, grad)
+	out := New(x.shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-a)) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// MatMul multiplies a [m,k] by b [k,n] into a new [m,n] tensor. The inner
+// loops are ikj-ordered for cache locality and the row dimension is
+// parallelised.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b, false)
+	return out
+}
+
+// MatMulInto computes dst = a×b, or dst += a×b when accumulate is true.
+func MatMulInto(dst, a, b *Tensor, accumulate bool) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst %v = %v × %v", dst.shape, a.shape, b.shape))
+	}
+	if !accumulate {
+		dst.Zero()
+	}
+	ad, bd, cd := a.Data, b.Data, dst.Data
+	Parallel(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulATB computes aᵀ×b for a [k,m], b [k,n] → [m,n]. Used by conv
+// backward for weight gradients.
+func MatMulATB(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulATB inner dim mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, cd := a.Data, b.Data, out.Data
+	Parallel(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := cd[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulABT computes a×bᵀ for a [m,k], b [n,k] → [m,n]. Used by conv
+// backward for input gradients.
+func MatMulABT(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulABT inner dim mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, cd := a.Data, b.Data, out.Data
+	Parallel(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				crow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns the [n,m] transpose of a rank-2 [m,n] tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose requires rank-2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+func checkSame(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

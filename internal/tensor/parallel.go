@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps the number of goroutines used by Parallel. It defaults to
+// GOMAXPROCS and can be lowered for deterministic profiling via SetWorkers.
+var (
+	workersMu  sync.RWMutex
+	maxWorkers = runtime.GOMAXPROCS(0)
+)
+
+// SetWorkers sets the goroutine count used by Parallel. n < 1 resets to
+// GOMAXPROCS. It returns the previous value.
+func SetWorkers(n int) int {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// Workers returns the current Parallel goroutine count.
+func Workers() int {
+	workersMu.RLock()
+	defer workersMu.RUnlock()
+	return maxWorkers
+}
+
+// Parallel splits [0, n) into contiguous chunks and runs fn(lo, hi) on each
+// from its own goroutine. It is the single parallel-for used by every hot
+// kernel so that nesting never oversubscribes: fn must not call Parallel.
+// Small ranges (n < grain*2) run inline on the calling goroutine.
+func Parallel(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w <= 1 || n < grain*2 {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > w {
+		chunks = w
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

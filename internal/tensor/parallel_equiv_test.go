@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The central hpc-parallel correctness property: every parallel kernel must
+// produce bitwise-identical results whether it runs on one goroutine or
+// many. Floating-point reduction order never crosses chunk boundaries in
+// these kernels, so exact equality is required, not approximate.
+func TestParallelSerialEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	x := randTensor(rng, 3, 16, 12)
+	w := randTensor(rng, 5, 3, 3, 3)
+	b := randTensor(rng, 5)
+	spec := Spec(3, 3).WithStride(2)
+	gy := randTensor(rng, 5, 8, 6)
+
+	type result struct {
+		conv, dx, dw, up, pool *Tensor
+	}
+	compute := func() result {
+		conv := Conv2D(x, w, b, spec)
+		dx, dw, _ := Conv2DBackward(x, w, gy, spec, true)
+		return result{
+			conv: conv, dx: dx, dw: dw,
+			up:   UpsampleNearest2x(x),
+			pool: AvgPool2x2(x),
+		}
+	}
+
+	prev := SetWorkers(1)
+	serial := compute()
+	SetWorkers(8)
+	parallel := compute()
+	SetWorkers(prev)
+
+	for _, tc := range []struct {
+		name string
+		a, b *Tensor
+	}{
+		{"conv", serial.conv, parallel.conv},
+		{"dx", serial.dx, parallel.dx},
+		{"dw", serial.dw, parallel.dw},
+		{"upsample", serial.up, parallel.up},
+		{"avgpool", serial.pool, parallel.pool},
+	} {
+		if !tc.a.SameShape(tc.b) {
+			t.Fatalf("%s: shape mismatch", tc.name)
+		}
+		for i := range tc.a.Data {
+			if tc.a.Data[i] != tc.b.Data[i] {
+				t.Fatalf("%s: parallel result differs from serial at %d: %v vs %v",
+					tc.name, i, tc.b.Data[i], tc.a.Data[i])
+			}
+		}
+	}
+}
+
+// Property form: matmul agrees between 1 and N workers on random shapes.
+func TestQuickMatMulWorkerInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		prev := SetWorkers(1)
+		serial := MatMul(a, b)
+		SetWorkers(4)
+		parallel := MatMul(a, b)
+		SetWorkers(prev)
+		for i := range serial.Data {
+			if serial.Data[i] != parallel.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(78))}); err != nil {
+		t.Fatal(err)
+	}
+}

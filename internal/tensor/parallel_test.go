@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelCoversRangeExactlyOnce(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	Parallel(n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelEmptyAndSmall(t *testing.T) {
+	called := false
+	Parallel(0, 8, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("Parallel(0) must not call fn")
+	}
+	var count int
+	Parallel(3, 8, func(lo, hi int) { count += hi - lo })
+	if count != 3 {
+		t.Fatalf("small range covered %d of 3", count)
+	}
+}
+
+func TestParallelGrainFloor(t *testing.T) {
+	// grain < 1 must not panic or loop forever.
+	var total int64
+	Parallel(100, 0, func(lo, hi int) {
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != 100 {
+		t.Fatalf("covered %d of 100", total)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	if Workers() != 1 {
+		t.Fatalf("Workers = %d after SetWorkers(1)", Workers())
+	}
+	// With one worker everything runs inline on this goroutine.
+	var mu sync.Mutex
+	count := 0
+	Parallel(64, 1, func(lo, hi int) {
+		mu.Lock()
+		count += hi - lo
+		mu.Unlock()
+	})
+	if count != 64 {
+		t.Fatalf("covered %d of 64", count)
+	}
+	// n < 1 resets to GOMAXPROCS.
+	SetWorkers(-1)
+	if Workers() < 1 {
+		t.Fatal("SetWorkers(-1) must reset to a positive count")
+	}
+}
+
+func TestParallelConcurrentCallers(t *testing.T) {
+	// Multiple goroutines calling Parallel simultaneously must not
+	// interfere (the race detector guards this test's value).
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			Parallel(500, 16, func(lo, hi int) {
+				atomic.AddInt64(&local, int64(hi-lo))
+			})
+			if local != 500 {
+				t.Errorf("covered %d of 500", local)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Conn is a bidirectional message channel between client and server. Both
+// the TCP carrier and the in-process pipe implement it.
+type Conn interface {
+	Send(m Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// TCP carrier
+// ---------------------------------------------------------------------------
+
+// TCPConn frames messages over a net.Conn. Send and Recv are each safe for
+// one concurrent caller (the async client uses one sender and one receiver
+// goroutine).
+type TCPConn struct {
+	conn    net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	acct    *netsim.Accountant
+	fromSrv bool // direction tag for accounting
+}
+
+// NewTCPConn wraps a net.Conn. acct may be nil; fromServer marks the server
+// side (its Sends count as to-client bytes).
+func NewTCPConn(conn net.Conn, acct *netsim.Accountant, fromServer bool) *TCPConn {
+	return &TCPConn{conn: conn, acct: acct, fromSrv: fromServer}
+}
+
+// Send implements Conn.
+func (c *TCPConn) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.acct != nil {
+		size := FrameOverhead + len(m.Body)
+		if c.fromSrv {
+			c.acct.AddToClient(size)
+		} else {
+			c.acct.AddToServer(size)
+		}
+	}
+	return WriteMessage(c.conn, m)
+}
+
+// Recv implements Conn.
+func (c *TCPConn) Recv() (Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return ReadMessage(c.conn)
+}
+
+// Close implements Conn.
+func (c *TCPConn) Close() error { return c.conn.Close() }
+
+// Dial connects to a ShadowTutor server, optionally throttling bandwidth.
+func Dial(addr string, bw netsim.Mbps, acct *netsim.Accountant) (*TCPConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	var conn net.Conn = nc
+	if bw > 0 {
+		conn = netsim.NewThrottledConn(nc, bw, nil)
+	}
+	return NewTCPConn(conn, acct, false), nil
+}
+
+// Listener accepts ShadowTutor protocol connections.
+type Listener struct {
+	ln   net.Listener
+	bw   netsim.Mbps
+	acct *netsim.Accountant
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, bw netsim.Mbps, acct *netsim.Accountant) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln, bw: bw, acct: acct}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*TCPConn, error) {
+	nc, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	var conn net.Conn = nc
+	if l.bw > 0 {
+		conn = netsim.NewThrottledConn(nc, l.bw, nil)
+	}
+	return NewTCPConn(conn, l.acct, true), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// ---------------------------------------------------------------------------
+// In-process pipe carrier
+// ---------------------------------------------------------------------------
+
+// PipeConn is an in-memory Conn backed by buffered channels; Pipe returns a
+// connected pair. Used by tests and the quickstart example where spinning
+// up TCP would add noise.
+type PipeConn struct {
+	send chan<- Message
+	recv <-chan Message
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	peer      *PipeConn
+	acct      *netsim.Accountant
+	fromSrv   bool
+}
+
+// Pipe returns a connected (client, server) pair with the given channel
+// depth. acct may be nil.
+func Pipe(depth int, acct *netsim.Accountant) (client, server *PipeConn) {
+	c2s := make(chan Message, depth)
+	s2c := make(chan Message, depth)
+	client = &PipeConn{send: c2s, recv: s2c, closed: make(chan struct{}), acct: acct, fromSrv: false}
+	server = &PipeConn{send: s2c, recv: c2s, closed: make(chan struct{}), acct: acct, fromSrv: true}
+	client.peer = server
+	server.peer = client
+	return client, server
+}
+
+// Send implements Conn.
+func (p *PipeConn) Send(m Message) error {
+	select {
+	case <-p.closed:
+		return io.ErrClosedPipe
+	case <-p.peer.closed:
+		return io.ErrClosedPipe
+	default:
+	}
+	if p.acct != nil {
+		size := FrameOverhead + len(m.Body)
+		if p.fromSrv {
+			p.acct.AddToClient(size)
+		} else {
+			p.acct.AddToServer(size)
+		}
+	}
+	select {
+	case p.send <- m:
+		return nil
+	case <-p.closed:
+		return io.ErrClosedPipe
+	case <-p.peer.closed:
+		return io.ErrClosedPipe
+	}
+}
+
+// Recv implements Conn.
+func (p *PipeConn) Recv() (Message, error) {
+	select {
+	case m := <-p.recv:
+		return m, nil
+	case <-p.closed:
+		return Message{}, io.EOF
+	case <-p.peer.closed:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case m := <-p.recv:
+			return m, nil
+		default:
+			return Message{}, io.EOF
+		}
+	}
+}
+
+// Close implements Conn.
+func (p *PipeConn) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	return nil
+}

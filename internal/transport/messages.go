@@ -1,0 +1,306 @@
+// Package transport implements the wire protocol between the ShadowTutor
+// client and server: message types for the key-frame upload and
+// student-diff download of Algorithms 3–4, length-prefixed binary framing,
+// and two interchangeable carriers — real TCP (optionally bandwidth
+// throttled) and an in-process pipe for deterministic tests.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol message kinds.
+const (
+	// MsgHello carries the protocol version and session parameters.
+	MsgHello MsgType = iota + 1
+	// MsgStudentFull carries the complete student checkpoint (server →
+	// client at session start, Algorithm 3 line 1).
+	MsgStudentFull
+	// MsgKeyFrame carries one key frame image (client → server).
+	MsgKeyFrame
+	// MsgStudentDiff carries the updated (trainable) parameters plus the
+	// post-distillation metric (server → client, Algorithm 3 line 6).
+	MsgStudentDiff
+	// MsgPrediction carries a mask (server → client), used by the naive
+	// offloading baseline.
+	MsgPrediction
+	// MsgShutdown ends the session.
+	MsgShutdown
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgStudentFull:
+		return "StudentFull"
+	case MsgKeyFrame:
+		return "KeyFrame"
+	case MsgStudentDiff:
+		return "StudentDiff"
+	case MsgPrediction:
+		return "Prediction"
+	case MsgShutdown:
+		return "Shutdown"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Hello is the session handshake payload.
+type Hello struct {
+	Version  uint16
+	NumClass uint16
+	FrameW   uint16
+	FrameH   uint16
+	Partial  bool
+}
+
+// Version is the current protocol version.
+const Version = 1
+
+// KeyFrame is the client → server key frame payload. Label optionally
+// carries the synthetic ground-truth mask: the Oracle teacher (the
+// reproduction's stand-in for Mask R-CNN, see internal/teacher) derives its
+// pseudo-label from it. A real deployment with a learned teacher leaves it
+// nil, and its bytes are excluded from traffic accounting either way.
+type KeyFrame struct {
+	FrameIndex uint32
+	Image      *tensor.Tensor // CHW float32
+	Label      []int32        // optional oracle side-channel
+}
+
+// StudentDiff is the server → client update payload.
+type StudentDiff struct {
+	FrameIndex uint32
+	Metric     float64 // post-distillation mIoU of Algorithm 1
+	Params     []*nn.Parameter
+}
+
+// Prediction is the server → client mask payload for naive offloading.
+type Prediction struct {
+	FrameIndex uint32
+	Mask       []int32
+}
+
+// EncodeHello serialises a Hello body.
+func EncodeHello(h Hello) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, h.Version)
+	binary.Write(&buf, binary.LittleEndian, h.NumClass)
+	binary.Write(&buf, binary.LittleEndian, h.FrameW)
+	binary.Write(&buf, binary.LittleEndian, h.FrameH)
+	p := uint8(0)
+	if h.Partial {
+		p = 1
+	}
+	buf.WriteByte(p)
+	return buf.Bytes()
+}
+
+// DecodeHello parses a Hello body.
+func DecodeHello(b []byte) (Hello, error) {
+	var h Hello
+	r := bytes.NewReader(b)
+	if err := binary.Read(r, binary.LittleEndian, &h.Version); err != nil {
+		return h, fmt.Errorf("transport: hello version: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h.NumClass); err != nil {
+		return h, fmt.Errorf("transport: hello classes: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h.FrameW); err != nil {
+		return h, fmt.Errorf("transport: hello width: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h.FrameH); err != nil {
+		return h, fmt.Errorf("transport: hello height: %w", err)
+	}
+	var p uint8
+	if err := binary.Read(r, binary.LittleEndian, &p); err != nil {
+		return h, fmt.Errorf("transport: hello partial flag: %w", err)
+	}
+	h.Partial = p != 0
+	return h, nil
+}
+
+// EncodeKeyFrame serialises a KeyFrame body.
+func EncodeKeyFrame(k KeyFrame) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, k.FrameIndex)
+	shape := k.Image.Shape()
+	binary.Write(&buf, binary.LittleEndian, uint8(len(shape)))
+	for _, d := range shape {
+		binary.Write(&buf, binary.LittleEndian, int32(d))
+	}
+	binary.Write(&buf, binary.LittleEndian, k.Image.Data)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(k.Label)))
+	if len(k.Label) > 0 {
+		binary.Write(&buf, binary.LittleEndian, k.Label)
+	}
+	return buf.Bytes()
+}
+
+// KeyFrameWireBytes returns the body size of an encoded key frame without
+// the oracle label side-channel — the size traffic accounting should use.
+func KeyFrameWireBytes(k KeyFrame) int {
+	return 4 + 1 + 4*k.Image.Rank() + 4*k.Image.Len() + 4
+}
+
+// DecodeKeyFrame parses a KeyFrame body.
+func DecodeKeyFrame(b []byte) (KeyFrame, error) {
+	var k KeyFrame
+	r := bytes.NewReader(b)
+	if err := binary.Read(r, binary.LittleEndian, &k.FrameIndex); err != nil {
+		return k, fmt.Errorf("transport: keyframe index: %w", err)
+	}
+	var rank uint8
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return k, fmt.Errorf("transport: keyframe rank: %w", err)
+	}
+	if rank == 0 || rank > 4 {
+		return k, fmt.Errorf("transport: keyframe implausible rank %d", rank)
+	}
+	shape := make([]int, rank)
+	for i := range shape {
+		var d int32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return k, fmt.Errorf("transport: keyframe dim: %w", err)
+		}
+		if d <= 0 || d > 1<<16 {
+			return k, fmt.Errorf("transport: keyframe implausible dim %d", d)
+		}
+		shape[i] = int(d)
+	}
+	t := tensor.New(shape...)
+	if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+		return k, fmt.Errorf("transport: keyframe data: %w", err)
+	}
+	k.Image = t
+	var labelLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &labelLen); err != nil {
+		return k, fmt.Errorf("transport: keyframe label length: %w", err)
+	}
+	if labelLen > 1<<26 {
+		return k, fmt.Errorf("transport: implausible label size %d", labelLen)
+	}
+	if labelLen > 0 {
+		k.Label = make([]int32, labelLen)
+		if err := binary.Read(r, binary.LittleEndian, k.Label); err != nil {
+			return k, fmt.Errorf("transport: keyframe label: %w", err)
+		}
+	}
+	return k, nil
+}
+
+// EncodeStudentDiff serialises a StudentDiff body.
+func EncodeStudentDiff(d StudentDiff) ([]byte, error) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, d.FrameIndex)
+	binary.Write(&buf, binary.LittleEndian, math.Float64bits(d.Metric))
+	if err := nn.WriteNamed(&buf, d.Params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeStudentDiff parses a StudentDiff body.
+func DecodeStudentDiff(b []byte) (StudentDiff, error) {
+	var d StudentDiff
+	r := bytes.NewReader(b)
+	if err := binary.Read(r, binary.LittleEndian, &d.FrameIndex); err != nil {
+		return d, fmt.Errorf("transport: diff index: %w", err)
+	}
+	var bits uint64
+	if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+		return d, fmt.Errorf("transport: diff metric: %w", err)
+	}
+	d.Metric = math.Float64frombits(bits)
+	params, err := nn.ReadNamed(r)
+	if err != nil {
+		return d, fmt.Errorf("transport: diff params: %w", err)
+	}
+	d.Params = params
+	return d, nil
+}
+
+// EncodePrediction serialises a Prediction body.
+func EncodePrediction(p Prediction) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, p.FrameIndex)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(p.Mask)))
+	binary.Write(&buf, binary.LittleEndian, p.Mask)
+	return buf.Bytes()
+}
+
+// DecodePrediction parses a Prediction body.
+func DecodePrediction(b []byte) (Prediction, error) {
+	var p Prediction
+	r := bytes.NewReader(b)
+	if err := binary.Read(r, binary.LittleEndian, &p.FrameIndex); err != nil {
+		return p, fmt.Errorf("transport: prediction index: %w", err)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return p, fmt.Errorf("transport: prediction len: %w", err)
+	}
+	if n > 1<<26 {
+		return p, fmt.Errorf("transport: implausible mask size %d", n)
+	}
+	p.Mask = make([]int32, n)
+	if err := binary.Read(r, binary.LittleEndian, p.Mask); err != nil {
+		return p, fmt.Errorf("transport: prediction mask: %w", err)
+	}
+	return p, nil
+}
+
+// Message is a framed protocol unit.
+type Message struct {
+	Type MsgType
+	Body []byte
+}
+
+// WriteMessage frames and writes a message: 1-byte type, 4-byte body length,
+// body.
+func WriteMessage(w io.Writer, m Message) error {
+	hdr := [5]byte{byte(m.Type)}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(m.Body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: writing header: %w", err)
+	}
+	if _, err := w.Write(m.Body); err != nil {
+		return fmt.Errorf("transport: writing body: %w", err)
+	}
+	return nil
+}
+
+// MaxBody bounds message bodies to catch corrupt frames early.
+const MaxBody = 1 << 28
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxBody {
+		return Message{}, fmt.Errorf("transport: frame size %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("transport: reading %d-byte body: %w", n, err)
+	}
+	return Message{Type: MsgType(hdr[0]), Body: body}, nil
+}
+
+// FrameOverhead is the fixed per-message framing cost in bytes.
+const FrameOverhead = 5

@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Version: 3, NumClass: 9, FrameW: 96, FrameH: 64, Partial: true}
+	got, err := DecodeHello(EncodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+}
+
+func TestKeyFrameRoundTrip(t *testing.T) {
+	img := tensor.New(3, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = float32(i) / 10
+	}
+	label := make([]int32, 64)
+	label[5] = 3
+	k := KeyFrame{FrameIndex: 42, Image: img, Label: label}
+	got, err := DecodeKeyFrame(EncodeKeyFrame(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameIndex != 42 {
+		t.Fatalf("index %d", got.FrameIndex)
+	}
+	for i := range img.Data {
+		if got.Image.Data[i] != img.Data[i] {
+			t.Fatal("image corrupted")
+		}
+	}
+	if got.Label[5] != 3 {
+		t.Fatal("label corrupted")
+	}
+}
+
+func TestKeyFrameNoLabel(t *testing.T) {
+	k := KeyFrame{Image: tensor.New(3, 8, 8)}
+	got, err := DecodeKeyFrame(EncodeKeyFrame(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != nil {
+		t.Fatal("nil label must survive round trip")
+	}
+}
+
+func TestKeyFrameWireBytesExcludesLabel(t *testing.T) {
+	img := tensor.New(3, 8, 8)
+	with := KeyFrame{Image: img, Label: make([]int32, 64)}
+	without := KeyFrame{Image: img}
+	if KeyFrameWireBytes(with) != KeyFrameWireBytes(without) {
+		t.Fatal("wire byte accounting must exclude the oracle side-channel")
+	}
+	if KeyFrameWireBytes(without) != len(EncodeKeyFrame(without)) {
+		t.Fatalf("wire bytes %d != encoded %d", KeyFrameWireBytes(without), len(EncodeKeyFrame(without)))
+	}
+}
+
+func TestStudentDiffRoundTrip(t *testing.T) {
+	p := &nn.Parameter{Name: "sb5.c33.w", Value: tensor.Full(0.25, 2, 3)}
+	d := StudentDiff{FrameIndex: 7, Metric: 0.815, Params: []*nn.Parameter{p}}
+	body, err := EncodeStudentDiff(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStudentDiff(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameIndex != 7 || got.Metric != 0.815 {
+		t.Fatalf("header corrupted: %+v", got)
+	}
+	if len(got.Params) != 1 || got.Params[0].Name != "sb5.c33.w" {
+		t.Fatalf("params corrupted: %+v", got.Params)
+	}
+}
+
+func TestPredictionRoundTrip(t *testing.T) {
+	p := Prediction{FrameIndex: 3, Mask: []int32{0, 1, 2, 8}}
+	got, err := DecodePrediction(EncodePrediction(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameIndex != 3 || len(got.Mask) != 4 || got.Mask[3] != 8 {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Type: MsgHello, Body: []byte("hi")},
+		{Type: MsgShutdown, Body: nil},
+		{Type: MsgKeyFrame, Body: bytes.Repeat([]byte{9}, 1000)},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("framing mismatch: %v vs %v", got.Type, want.Type)
+		}
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMessage(&buf, Message{Type: MsgHello, Body: []byte("hello")})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadMessage(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated body must error")
+	}
+	if _, err := ReadMessage(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream error = %v, want EOF", err)
+	}
+}
+
+func TestReadMessageRejectsHugeFrame(t *testing.T) {
+	hdr := []byte{byte(MsgHello), 0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized frame must error")
+	}
+}
+
+func TestDecodersRejectGarbage(t *testing.T) {
+	if _, err := DecodeHello([]byte{1}); err == nil {
+		t.Fatal("short hello must error")
+	}
+	if _, err := DecodeKeyFrame([]byte{1, 2}); err == nil {
+		t.Fatal("short keyframe must error")
+	}
+	if _, err := DecodeStudentDiff([]byte{1}); err == nil {
+		t.Fatal("short diff must error")
+	}
+	if _, err := DecodePrediction([]byte{1}); err == nil {
+		t.Fatal("short prediction must error")
+	}
+	// Implausible rank.
+	bad := EncodeKeyFrame(KeyFrame{Image: tensor.New(3, 8, 8)})
+	bad[4] = 200
+	if _, err := DecodeKeyFrame(bad); err == nil {
+		t.Fatal("implausible rank must error")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, tc := range []struct {
+		mt   MsgType
+		want string
+	}{{MsgHello, "Hello"}, {MsgStudentDiff, "StudentDiff"}, {MsgType(99), "MsgType(99)"}} {
+		if tc.mt.String() != tc.want {
+			t.Fatalf("%d → %q, want %q", tc.mt, tc.mt.String(), tc.want)
+		}
+	}
+}
+
+func TestPipeSendRecv(t *testing.T) {
+	c, s := Pipe(2, nil)
+	defer c.Close()
+	defer s.Close()
+	if err := c.Send(Message{Type: MsgHello, Body: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != MsgHello {
+		t.Fatalf("got %v", m.Type)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	c, s := Pipe(0, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Recv()
+		done <- err
+	}()
+	c.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("Recv after peer close = %v, want EOF", err)
+	}
+}
+
+func TestPipeSendAfterCloseFails(t *testing.T) {
+	c, s := Pipe(1, nil)
+	s.Close()
+	if err := c.Send(Message{Type: MsgHello}); err == nil {
+		t.Fatal("send to closed peer must fail")
+	}
+}
+
+func TestPipeDrainsQueuedAfterPeerClose(t *testing.T) {
+	c, s := Pipe(2, nil)
+	c.Send(Message{Type: MsgHello})
+	c.Close()
+	if m, err := s.Recv(); err != nil || m.Type != MsgHello {
+		t.Fatalf("queued message lost: %v %v", m.Type, err)
+	}
+}
+
+func TestPipeAccounting(t *testing.T) {
+	var acct netsim.Accountant
+	c, s := Pipe(2, &acct)
+	c.Send(Message{Type: MsgKeyFrame, Body: make([]byte, 100)})
+	s.Send(Message{Type: MsgStudentDiff, Body: make([]byte, 50)})
+	up, down := acct.Totals()
+	if up != 105 || down != 55 {
+		t.Fatalf("accounting %d/%d", up, down)
+	}
+}
+
+func TestPipeConcurrentSenders(t *testing.T) {
+	c, s := Pipe(64, nil)
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Send(Message{Type: MsgKeyFrame})
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if _, err := s.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPConnEndToEnd(t *testing.T) {
+	var acct netsim.Accountant
+	ln, err := Listen("127.0.0.1:0", 0, &acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		m, err := conn.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- conn.Send(Message{Type: m.Type, Body: m.Body})
+	}()
+	conn, err := Dial(ln.Addr(), 0, &acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	want := Message{Type: MsgKeyFrame, Body: []byte("payload")}
+	if err := conn.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || !bytes.Equal(got.Body, want.Body) {
+		t.Fatal("echo mismatch")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	up, down := acct.Totals()
+	if up == 0 || down == 0 {
+		t.Fatalf("accounting %d/%d should be nonzero", up, down)
+	}
+}
+
+// Property: arbitrary message bodies survive framing.
+func TestQuickFramingRoundTrip(t *testing.T) {
+	f := func(body []byte, typ uint8) bool {
+		var buf bytes.Buffer
+		m := Message{Type: MsgType(typ), Body: body}
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Type == m.Type && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}
