@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
@@ -225,6 +226,27 @@ func BenchmarkVideoGeneration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gen.Next()
+	}
+}
+
+// BenchmarkMultiClientThroughput compares aggregate server throughput with
+// 1 vs 16 concurrent client sessions sharing one batched teacher through
+// the internal/serve session manager — the scaling claim of the
+// multi-session server.
+func BenchmarkMultiClientThroughput(b *testing.B) {
+	for _, clients := range []int{1, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			opts := experiments.Options{Frames: 48, EvalEvery: 4, Seed: 11}
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.MultiClient(opts, clients)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AggregateFPS, "agg-fps")
+				b.ReportMetric(res.MeanFPS, "client-fps")
+				b.ReportMetric(res.MeanBatch, "batch")
+			}
+		})
 	}
 }
 

@@ -31,6 +31,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "video seed")
 		bandwidth = flag.Float64("bandwidth", 0, "throttle link to this many Mbps (0 = unlimited)")
 		evalIoU   = flag.Bool("eval", true, "measure mIoU against the oracle teacher per frame")
+		session   = flag.Uint64("session", 0, "session ID to request from the server (0 = server-assigned)")
 	)
 	flag.Parse()
 
@@ -50,8 +51,9 @@ func main() {
 	defer conn.Close()
 
 	client := &core.Client{
-		Cfg:     core.DefaultConfig(),
-		Student: nn.NewStudentForWire(),
+		Cfg:       core.DefaultConfig(),
+		Student:   nn.NewStudentForWire(),
+		SessionID: *session,
 	}
 	if *evalIoU {
 		client.EvalTeacher = teacher.NewOracle(1)
@@ -61,8 +63,8 @@ func main() {
 		log.Fatalf("client failed: %v", err)
 	}
 	r := client.Result
-	log.Printf("done: %d frames in %v (%.2f FPS), %d key frames (%.2f%%), mIoU %.3f",
-		r.Frames, r.Elapsed.Round(1e6), float64(r.Frames)/r.Elapsed.Seconds(),
+	log.Printf("done: session %d, %d frames in %v (%.2f FPS), %d key frames (%.2f%%), mIoU %.3f",
+		r.SessionID, r.Frames, r.Elapsed.Round(1e6), float64(r.Frames)/r.Elapsed.Seconds(),
 		r.KeyFrames, 100*float64(r.KeyFrames)/float64(r.Frames), r.MeanIoU)
 }
 

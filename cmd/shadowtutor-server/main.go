@@ -1,20 +1,25 @@
-// Command shadowtutor-server runs the ShadowTutor server (Algorithm 3) over
-// TCP: it pre-trains (or loads) a student, ships it to each connecting
-// client, then answers key frames with partially distilled student updates.
+// Command shadowtutor-server runs the multi-session ShadowTutor server over
+// TCP: it pre-trains (or loads) a student, then serves any number of
+// concurrent clients (Algorithm 3 per session), giving each its own
+// distiller over a private student clone while batching every session's key
+// frames through one shared teacher (internal/serve).
 //
 // Usage:
 //
-//	shadowtutor-server -listen 127.0.0.1:7607 -partial=true
+//	shadowtutor-server -listen 127.0.0.1:7607 -max-sessions 64 -partial=true
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/serve"
 	"repro/internal/teacher"
 	"repro/internal/transport"
 )
@@ -23,12 +28,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shadowtutor-server: ")
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7607", "address to listen on")
-		partial   = flag.Bool("partial", true, "partial distillation (freeze through SB4)")
-		bandwidth = flag.Float64("bandwidth", 0, "throttle link to this many Mbps (0 = unlimited)")
-		threshold = flag.Float64("threshold", 0.8, "student metric THRESHOLD")
-		maxUpd    = flag.Int("max-updates", 8, "MAX_UPDATES per key frame")
-		pretrain  = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
+		listen      = flag.String("listen", "127.0.0.1:7607", "address to listen on")
+		partial     = flag.Bool("partial", true, "partial distillation (freeze through SB4)")
+		bandwidth   = flag.Float64("bandwidth", 0, "throttle link to this many Mbps (0 = unlimited)")
+		threshold   = flag.Float64("threshold", 0.8, "student metric THRESHOLD")
+		maxUpd      = flag.Int("max-updates", 8, "MAX_UPDATES per key frame")
+		pretrain    = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
+		maxSessions = flag.Int("max-sessions", 64, "concurrent client session cap")
+		maxBatch    = flag.Int("max-batch", 8, "max key frames per shared-teacher invocation")
+		workers     = flag.Int("batch-workers", 2, "teacher queue worker pool size")
 	)
 	flag.Parse()
 
@@ -51,29 +59,42 @@ func main() {
 	log.Printf("student ready: %d params, %.1f%% trainable",
 		student.Params.NumParams(), student.Params.TrainableFraction()*100)
 
+	mgr, err := serve.NewManager(serve.Options{
+		Cfg:          cfg,
+		Base:         student,
+		Teacher:      teacher.NewOracle(1),
+		MaxSessions:  *maxSessions,
+		MaxBatch:     *maxBatch,
+		BatchWorkers: *workers,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ln, err := transport.Listen(*listen, netsim.Mbps(*bandwidth), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
-	log.Printf("listening on %s (partial=%v, bandwidth=%v)", ln.Addr(), *partial, *bandwidth)
+	log.Printf("listening on %s (partial=%v, bandwidth=%v, max-sessions=%d)",
+		ln.Addr(), *partial, *bandwidth, *maxSessions)
 
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatalf("accept: %v", err)
-		}
-		go func() {
-			defer conn.Close()
-			// Each session distils its own copy of the checkpoint, as the
-			// paper's server does per stream.
-			srv := core.NewServer(cfg, student.Clone(), teacher.NewOracle(1))
-			if err := srv.Serve(conn); err != nil {
-				log.Printf("session ended with error: %v", err)
-				return
-			}
-			log.Printf("session complete: %d key frames, mean %.2f steps",
-				srv.Distiller.TotalTrains, srv.Distiller.MeanSteps())
-		}()
+	// SIGINT/SIGTERM stop the accept loop and drain active sessions.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Printf("shutting down, draining sessions…")
+		mgr.Close()
+	}()
+
+	if err := mgr.ServeListener(ln); err != nil {
+		log.Fatalf("accept loop: %v", err)
 	}
+	// ServeListener returns once Close has begun; Close is idempotent and
+	// blocks until the drain (and teacher queue shutdown) completes.
+	mgr.Close()
+	st := mgr.Stats()
+	log.Printf("served %d sessions, %d key frames, mean teacher batch %.2f",
+		st.SessionsServed, st.KeyFrames, st.Teacher.MeanBatch())
 }

@@ -11,6 +11,7 @@
 //	stbench -table 5         # a single table
 //	stbench -figure 4        # the bandwidth sweep
 //	stbench -bounds          # §4.4/§5.3 analytic bound report
+//	stbench -multiclient 16  # multi-session scaling: 1 vs N concurrent clients
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		figure     = flag.Int("figure", 0, "regenerate a single figure (4); 0 = all")
 		boundsOnly = flag.Bool("bounds", false, "print only the analytic bound report")
 		ablations  = flag.Bool("ablations", false, "run the DESIGN.md ablation suite instead of the paper tables")
+		multi      = flag.Int("multiclient", 0, "run the multi-session scaling scenario with this many concurrent clients (compared against 1)")
 		pretrain   = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
 	)
 	flag.Parse()
@@ -47,7 +49,7 @@ func main() {
 		return
 	}
 
-	suite := experiments.NewSuite(experiments.Options{Frames: *frames, EvalEvery: *evalEvery, Seed: *seed})
+	opts := experiments.Options{Frames: *frames, EvalEvery: *evalEvery, Seed: *seed}
 	start := time.Now()
 
 	emit := func(t *stats.Table, err error) {
@@ -56,6 +58,18 @@ func main() {
 		}
 		fmt.Println(t)
 	}
+
+	if *multi > 0 {
+		counts := []int{1, *multi}
+		if *multi == 1 {
+			counts = []int{1}
+		}
+		emit(experiments.MultiClientTable(opts, counts))
+		log.Printf("multi-client scenario done in %v", time.Since(start).Round(time.Second))
+		return
+	}
+
+	suite := experiments.NewSuite(opts)
 
 	if *ablations {
 		emit(suite.AblationStride())

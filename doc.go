@@ -1,9 +1,33 @@
 // Package repro is a from-scratch Go reproduction of "ShadowTutor:
 // Distributed Partial Distillation for Mobile Video DNN Inference"
-// (Chung, Kim, Moon — ICPP 2020).
+// (Chung, Kim, Moon — ICPP 2020), extended with a multi-session server
+// that shares one batched teacher across many concurrent clients.
 //
 // The root package holds the benchmark harness (bench_test.go), one
-// benchmark per table and figure of the paper's evaluation section. The
-// implementation lives under internal/ (see DESIGN.md for the inventory),
-// runnable entry points under cmd/ and examples/.
+// benchmark per table and figure of the paper's evaluation section plus a
+// 1-vs-16-client throughput comparison. The implementation lives under
+// internal/ (ARCHITECTURE.md maps the paper's algorithms and sections onto
+// the packages), runnable entry points under cmd/ and examples/.
+//
+// # Quickstart
+//
+// The fastest tour is the in-process example, which wires a client and
+// server over a pipe and runs real online distillation:
+//
+//	go run ./examples/quickstart
+//
+// Other scenarios live alongside it: examples/streetcam (fixed camera),
+// examples/egocentric (moving camera), examples/lowbandwidth (throttled
+// link), and examples/realtime (wall-clock pacing).
+//
+// To run the real protocol over TCP, start the multi-session server and
+// point any number of clients at it:
+//
+//	go run ./cmd/shadowtutor-server -listen 127.0.0.1:7607 -max-sessions 64
+//	go run ./cmd/shadowtutor-client -connect 127.0.0.1:7607 -stream moving/street
+//
+// To regenerate the paper's tables, or the multi-client scaling table:
+//
+//	go run ./cmd/stbench -frames 600
+//	go run ./cmd/stbench -frames 200 -multiclient 16
 package repro

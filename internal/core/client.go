@@ -25,6 +25,14 @@ type Client struct {
 	EvalTeacher interface {
 		Infer(video.Frame) []int32
 	}
+	// SessionID names this session on a multi-session server; zero lets
+	// the server assign one. The ID the server actually acknowledged is
+	// reported in Result.SessionID.
+	SessionID uint64
+	// EvalEvery samples the EvalTeacher comparison every n-th frame
+	// (§6.3's protocol is 1, the default; higher values cut eval cost in
+	// throughput-oriented runs).
+	EvalEvery int
 
 	// Stats populated by Run.
 	Result ClientResult
@@ -34,6 +42,7 @@ type Client struct {
 
 // ClientResult summarises a client session.
 type ClientResult struct {
+	SessionID   uint64 // the ID the server acknowledged in the handshake
 	Frames      int
 	KeyFrames   int
 	Elapsed     time.Duration
@@ -58,14 +67,27 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 	}
 	// Handshake.
 	hello := transport.Hello{
-		Version:  transport.Version,
-		NumClass: uint16(c.Student.Config.NumClasses),
-		Partial:  c.Cfg.Partial,
+		Version:   transport.Version,
+		NumClass:  uint16(c.Student.Config.NumClasses),
+		Partial:   c.Cfg.Partial,
+		SessionID: c.SessionID,
 	}
 	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(hello)}); err != nil {
 		return fmt.Errorf("core: client hello: %w", err)
 	}
 	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: client hello ack recv: %w", err)
+	}
+	if m.Type != transport.MsgHello {
+		return fmt.Errorf("core: expected Hello ack, got %v", m.Type)
+	}
+	ack, err := transport.DecodeHello(m.Body)
+	if err != nil {
+		return err
+	}
+	c.Result.SessionID = ack.SessionID
+	m, err = conn.Recv()
 	if err != nil {
 		return fmt.Errorf("core: client initial student recv: %w", err)
 	}
@@ -169,7 +191,7 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 		mask, _ := c.Student.Infer(frame.Image)
 		step++
 
-		if c.EvalTeacher != nil {
+		if c.EvalTeacher != nil && (c.EvalEvery <= 1 || i%c.EvalEvery == 0) {
 			cm.Add(mask, c.EvalTeacher.Infer(frame))
 			c.Result.EvalFrames++
 		}

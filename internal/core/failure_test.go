@@ -93,6 +93,9 @@ func TestServerCleanShutdown(t *testing.T) {
 	go func() { done <- srv.Serve(serverConn) }()
 	hello := transport.Hello{Version: transport.Version}
 	clientConn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(hello)})
+	if m, err := clientConn.Recv(); err != nil || m.Type != transport.MsgHello {
+		t.Fatalf("no hello ack: %v %v", m.Type, err)
+	}
 	if m, err := clientConn.Recv(); err != nil || m.Type != transport.MsgStudentFull {
 		t.Fatalf("no initial checkpoint: %v %v", m.Type, err)
 	}

@@ -19,6 +19,11 @@ type Server struct {
 	Cfg       Config
 	Teacher   teacher.Teacher
 	Distiller *Distiller
+	// AssignSession, when non-nil, is consulted during Handshake with the
+	// client's Hello and returns the session ID to acknowledge — a session
+	// manager (internal/serve) registers the session here. Nil echoes the
+	// client's requested ID.
+	AssignSession func(transport.Hello) (uint64, error)
 }
 
 // NewServer builds a server around a student copy and a teacher.
@@ -29,37 +34,64 @@ func NewServer(cfg Config, student *nn.Student, tch teacher.Teacher) *Server {
 // Serve runs the protocol until the client shuts down or the connection
 // drops. It returns nil on clean shutdown.
 func (s *Server) Serve(conn transport.Conn) error {
-	// Handshake.
+	if _, err := s.Handshake(conn); err != nil {
+		return err
+	}
+	return s.Loop(conn)
+}
+
+// Handshake runs the session-establishment half of Algorithm 3: it receives
+// and validates the client's Hello, acknowledges it with a server Hello
+// carrying the (possibly manager-assigned) session ID, then ships the full
+// student checkpoint (line 1: ToClient(student) — so the client needs no
+// pre-installed weights, §4.1.3). The returned Hello carries the assigned
+// SessionID.
+func (s *Server) Handshake(conn transport.Conn) (transport.Hello, error) {
 	m, err := conn.Recv()
 	if err != nil {
-		return fmt.Errorf("core: server handshake recv: %w", err)
+		return transport.Hello{}, fmt.Errorf("core: server handshake recv: %w", err)
 	}
 	if m.Type != transport.MsgHello {
-		return fmt.Errorf("core: expected Hello, got %v", m.Type)
+		return transport.Hello{}, fmt.Errorf("core: expected Hello, got %v", m.Type)
 	}
 	hello, err := transport.DecodeHello(m.Body)
 	if err != nil {
-		return err
+		return transport.Hello{}, err
 	}
 	if hello.Version != transport.Version {
-		return fmt.Errorf("core: protocol version mismatch: client %d, server %d", hello.Version, transport.Version)
+		return transport.Hello{}, fmt.Errorf("core: protocol version mismatch: client %d, server %d", hello.Version, transport.Version)
+	}
+	if s.AssignSession != nil {
+		id, err := s.AssignSession(hello)
+		if err != nil {
+			return transport.Hello{}, err
+		}
+		hello.SessionID = id
 	}
 
-	// Algorithm 3 line 1: ToClient(student) — the full checkpoint, so the
-	// client needs no pre-installed weights (§4.1.3).
-	var full []byte
-	{
-		var err error
-		full, err = encodeParams(s.Distiller.Student.Params.All())
-		if err != nil {
-			return err
-		}
+	ack := transport.Hello{
+		Version:   transport.Version,
+		NumClass:  uint16(s.Distiller.Student.Config.NumClasses),
+		Partial:   s.Cfg.Partial,
+		SessionID: hello.SessionID,
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(ack)}); err != nil {
+		return transport.Hello{}, fmt.Errorf("core: sending hello ack: %w", err)
+	}
+	full, err := encodeParams(s.Distiller.Student.Params.All())
+	if err != nil {
+		return transport.Hello{}, err
 	}
 	if err := conn.Send(transport.Message{Type: transport.MsgStudentFull, Body: full}); err != nil {
-		return fmt.Errorf("core: sending initial student: %w", err)
+		return transport.Hello{}, fmt.Errorf("core: sending initial student: %w", err)
 	}
+	return hello, nil
+}
 
-	// Algorithm 3 lines 2–7.
+// Loop runs the steady-state half of Algorithm 3 (lines 2–7): receive a key
+// frame, teacher-infer, distil, reply with the trainable diff — until
+// shutdown or connection loss. Handshake must have completed first.
+func (s *Server) Loop(conn transport.Conn) error {
 	for {
 		m, err := conn.Recv()
 		if err != nil {

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// MultiClientResult aggregates one multi-session run: n concurrent clients,
+// each on its own stream and link, against one serve.Manager sharing a
+// single batched teacher.
+type MultiClientResult struct {
+	Clients      int
+	FramesEach   int
+	KeyFrames    int64
+	Elapsed      time.Duration // wall clock, first dial to last shutdown
+	AggregateFPS float64       // total frames processed / Elapsed
+	MeanFPS      float64       // mean of per-client FPS
+	MeanIoU      float64       // mean of per-client session mIoU
+	MeanBatch    float64       // mean frames per shared-teacher invocation
+}
+
+// multiClientBandwidths cycles distinct per-client link speeds (Mbps), so
+// concurrent sessions see heterogeneous networks as in the paper's §6.4
+// sweep; 0 disables throttling for that client.
+var multiClientBandwidths = []netsim.Mbps{0, 160, 80, 40}
+
+// MultiClient runs n concurrent client sessions over loopback TCP against
+// one multi-session server. Each client streams a different LVS category
+// with its own seed and link bandwidth; the server batches all key frames
+// through one shared teacher. It is the experimental harness for the
+// many-mobile-students-one-teacher deployment of §1/§7.
+func MultiClient(opts Options, n int) (MultiClientResult, error) {
+	if n < 1 {
+		return MultiClientResult{}, fmt.Errorf("experiments: need ≥1 client, got %d", n)
+	}
+	if opts.Frames <= 0 {
+		opts = QuickOptions()
+	}
+	cfg := core.DefaultConfig()
+	base, err := FreshStudentFor(cfg)
+	if err != nil {
+		return MultiClientResult{}, err
+	}
+	mgr, err := serve.NewManager(serve.Options{
+		Cfg:         cfg,
+		Base:        base,
+		Teacher:     teacher.NewOracle(opts.Seed + 997),
+		MaxSessions: n,
+		MaxBatch:    8,
+	})
+	if err != nil {
+		return MultiClientResult{}, err
+	}
+	ln, err := transport.Listen("127.0.0.1:0", 0, nil)
+	if err != nil {
+		return MultiClientResult{}, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- mgr.ServeListener(ln) }()
+
+	clients := make([]*core.Client, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cat := video.Categories[c%len(video.Categories)]
+			gen, err := video.NewGenerator(video.CategoryConfig(cat, opts.Seed+int64(c)*131))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			bw := multiClientBandwidths[c%len(multiClientBandwidths)]
+			conn, err := transport.Dial(ln.Addr(), bw, nil)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer conn.Close()
+			cl := &core.Client{
+				Cfg:         cfg,
+				Student:     base.Clone(),
+				EvalTeacher: teacher.NewOracle(opts.Seed + 997),
+				EvalEvery:   opts.EvalEvery,
+				SessionID:   uint64(c + 1),
+			}
+			errs[c] = cl.Run(conn, gen, opts.Frames)
+			clients[c] = cl
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := mgr.Close(); err != nil {
+		return MultiClientResult{}, err
+	}
+	if err := <-serveErr; err != nil {
+		return MultiClientResult{}, fmt.Errorf("experiments: multi-client serve loop: %w", err)
+	}
+	for c, err := range errs {
+		if err != nil {
+			return MultiClientResult{}, fmt.Errorf("experiments: multi-client %d: %w", c, err)
+		}
+	}
+
+	res := MultiClientResult{Clients: n, FramesEach: opts.Frames, Elapsed: elapsed}
+	var fps, iou []float64
+	for _, cl := range clients {
+		res.KeyFrames += int64(cl.Result.KeyFrames)
+		fps = append(fps, float64(cl.Result.Frames)/cl.Result.Elapsed.Seconds())
+		iou = append(iou, cl.Result.MeanIoU)
+	}
+	res.AggregateFPS = float64(n*opts.Frames) / elapsed.Seconds()
+	res.MeanFPS = stats.Mean(fps)
+	res.MeanIoU = stats.Mean(iou)
+	res.MeanBatch = mgr.Stats().Teacher.MeanBatch()
+	return res, nil
+}
+
+// MultiClientTable runs MultiClient for each client count and tabulates the
+// aggregate numbers — the scaling story (1 vs 16 clients) for the
+// multi-session server.
+func MultiClientTable(opts Options, counts []int) (*stats.Table, error) {
+	t := stats.NewTable("Multi-client scaling (shared batched teacher)",
+		"Clients", "Frames/client", "Key frames", "Wall (s)",
+		"Aggregate FPS", "Mean client FPS", "Mean batch", "mIoU")
+	for _, n := range counts {
+		r, err := MultiClient(opts, n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(r.Clients, r.FramesEach, r.KeyFrames,
+			fmt.Sprintf("%.2f", r.Elapsed.Seconds()),
+			fmt.Sprintf("%.2f", r.AggregateFPS),
+			fmt.Sprintf("%.2f", r.MeanFPS),
+			fmt.Sprintf("%.2f", r.MeanBatch),
+			stats.Pct(r.MeanIoU))
+	}
+	return t, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiClientAggregates(t *testing.T) {
+	opts := Options{Frames: 24, EvalEvery: 2, Seed: 11}
+	res, err := MultiClient(opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 3 || res.FramesEach != 24 {
+		t.Fatalf("result shape %+v", res)
+	}
+	if res.KeyFrames < 3 {
+		t.Fatalf("expected ≥1 key frame per client, got %d total", res.KeyFrames)
+	}
+	if res.AggregateFPS <= 0 || res.MeanFPS <= 0 {
+		t.Fatalf("non-positive throughput %+v", res)
+	}
+	if res.MeanBatch < 1 {
+		t.Fatalf("mean batch %v < 1", res.MeanBatch)
+	}
+	if res.MeanIoU <= 0.05 {
+		t.Fatalf("mIoU %v suspiciously low", res.MeanIoU)
+	}
+}
+
+func TestMultiClientTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sessions; covered by TestMultiClientAggregates")
+	}
+	opts := Options{Frames: 16, EvalEvery: 4, Seed: 13}
+	tbl, err := MultiClientTable(opts, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("want 2 rows, got %d", tbl.NumRows())
+	}
+	if !strings.Contains(tbl.String(), "Aggregate FPS") {
+		t.Fatalf("table missing header:\n%s", tbl)
+	}
+}
+
+func TestMultiClientRejectsZeroClients(t *testing.T) {
+	if _, err := MultiClient(QuickOptions(), 0); err == nil {
+		t.Fatal("expected error for 0 clients")
+	}
+}

@@ -1,0 +1,324 @@
+// Package serve scales the single-connection server of Algorithm 3
+// (internal/core) to many concurrent clients: a session manager accepts
+// transport.Conns, gives each client its own core.Distiller over a private
+// clone of the pre-trained student (per-session state, as the paper's
+// server keeps per-stream students), and funnels every session's key-frame
+// inference through one shared teacher behind a bounded, micro-batching
+// worker queue (teacher.Batcher) — the one-GPU-teacher-amortised-across-
+// many-mobile-students deployment the paper motivates in §1 and §7.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+)
+
+// ErrClosed is returned by Handle after Close.
+var ErrClosed = errors.New("serve: manager closed")
+
+// Options configures a Manager.
+type Options struct {
+	// Cfg holds the algorithmic parameters applied to every session.
+	Cfg core.Config
+	// Base is the pre-trained student checkpoint; each session distils a
+	// private clone of it.
+	Base *nn.Student
+	// Teacher is the shared teacher; the manager wraps it in a
+	// teacher.Batcher unless it already is one.
+	Teacher teacher.Teacher
+	// MaxSessions caps concurrent sessions (default 64). Further Handle
+	// calls block until a slot frees.
+	MaxSessions int
+	// BatchWorkers, MaxBatch and Linger tune the shared teacher queue; see
+	// teacher.BatcherOptions.
+	BatchWorkers int
+	MaxBatch     int
+	Linger       time.Duration
+	// DrainTimeout bounds how long Close waits for active sessions to
+	// finish before force-closing their connections (default 30s; negative
+	// waits forever). A stalled client must not be able to wedge shutdown.
+	DrainTimeout time.Duration
+	// Logf, when non-nil, receives session lifecycle lines.
+	Logf func(format string, v ...any)
+}
+
+// SessionInfo is a point-in-time view of one active session. Distillation
+// counters are folded into Stats only when a session completes — they are
+// owned by the session goroutine while it runs.
+type SessionInfo struct {
+	ID      uint64
+	Started time.Time
+}
+
+// Stats aggregates manager activity.
+type Stats struct {
+	SessionsServed int64 // sessions completed
+	Active         int   // sessions currently running
+	KeyFrames      int64 // key frames distilled across completed sessions
+	Teacher        teacher.BatchStats
+}
+
+type session struct {
+	id      uint64
+	srv     *core.Server
+	started time.Time
+}
+
+// Manager owns the multi-session server: session registry, per-session
+// distillers, the shared batched teacher, and aggregate statistics.
+type Manager struct {
+	opts    Options
+	batcher *teacher.Batcher
+	slots   chan struct{}
+	quit    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    uint64
+	active    map[uint64]*session
+	conns     map[transport.Conn]struct{}
+	served    int64
+	keyFrames int64
+	listeners []*transport.Listener
+}
+
+// NewManager builds a Manager and starts the shared teacher queue.
+func NewManager(opts Options) (*Manager, error) {
+	if opts.Base == nil {
+		return nil, errors.New("serve: Options.Base student required")
+	}
+	if opts.Teacher == nil {
+		return nil, errors.New("serve: Options.Teacher required")
+	}
+	if err := opts.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 64
+	}
+	b, ok := opts.Teacher.(*teacher.Batcher)
+	if !ok {
+		b = teacher.NewBatcher(opts.Teacher, teacher.BatcherOptions{
+			Workers:  opts.BatchWorkers,
+			MaxBatch: opts.MaxBatch,
+			Linger:   opts.Linger,
+		})
+	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 30 * time.Second
+	}
+	return &Manager{
+		opts:    opts,
+		batcher: b,
+		slots:   make(chan struct{}, opts.MaxSessions),
+		quit:    make(chan struct{}),
+		active:  map[uint64]*session{},
+		conns:   map[transport.Conn]struct{}{},
+	}, nil
+}
+
+// Handle serves one client session on conn, blocking until the session
+// ends. It may be called from any number of goroutines; when MaxSessions
+// sessions are active it blocks until a slot frees. The caller owns conn.
+func (m *Manager) Handle(conn transport.Conn) error {
+	if !m.track() {
+		return ErrClosed
+	}
+	defer m.wg.Done()
+	select {
+	case m.slots <- struct{}{}:
+	case <-m.quit:
+		return ErrClosed
+	}
+	defer func() { <-m.slots }()
+
+	m.trackConn(conn)
+	defer m.untrackConn(conn)
+
+	// Per-session state: a private clone of the checkpoint with its own
+	// distiller and optimizer; the teacher is the shared batched queue.
+	srv := core.NewServer(m.opts.Cfg, m.opts.Base.Clone(), m.batcher)
+	var id uint64
+	srv.AssignSession = func(h transport.Hello) (uint64, error) {
+		id = m.register(h.SessionID, srv)
+		m.logf("session %d started (requested id %d)", id, h.SessionID)
+		return id, nil
+	}
+	_, err := srv.Handshake(conn)
+	if err != nil {
+		if id != 0 {
+			m.unregister(id)
+		}
+		return err
+	}
+
+	err = srv.Loop(conn)
+	m.unregister(id)
+	if err != nil {
+		m.logf("session %d ended with error: %v", id, err)
+		return fmt.Errorf("serve: session %d: %w", id, err)
+	}
+	m.logf("session %d complete: %d key frames, mean %.2f steps",
+		id, srv.Distiller.TotalTrains, srv.Distiller.MeanSteps())
+	return nil
+}
+
+func (m *Manager) trackConn(c transport.Conn) {
+	m.mu.Lock()
+	m.conns[c] = struct{}{}
+	m.mu.Unlock()
+}
+
+func (m *Manager) untrackConn(c transport.Conn) {
+	m.mu.Lock()
+	delete(m.conns, c)
+	m.mu.Unlock()
+}
+
+// track registers a unit of in-flight work with the shutdown WaitGroup,
+// refusing once Close has begun (Add must not race Wait).
+func (m *Manager) track() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.wg.Add(1)
+	return true
+}
+
+// register assigns a session ID (honouring the client's request when it is
+// nonzero and free) and adds the session to the registry.
+func (m *Manager) register(requested uint64, srv *core.Server) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := requested
+	if id == 0 || m.active[id] != nil {
+		for {
+			m.nextID++
+			if m.active[m.nextID] == nil {
+				id = m.nextID
+				break
+			}
+		}
+	}
+	m.active[id] = &session{id: id, srv: srv, started: time.Now()}
+	return id
+}
+
+func (m *Manager) unregister(id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.active[id]; ok {
+		delete(m.active, id)
+		m.served++
+		m.keyFrames += int64(s.srv.Distiller.TotalTrains)
+	}
+}
+
+// ServeListener accepts connections from ln until the manager is closed or
+// the listener fails, spawning one session handler goroutine per client.
+// Close closes ln, so a post-Close accept error reports as clean shutdown.
+func (m *Manager) ServeListener(ln *transport.Listener) error {
+	m.mu.Lock()
+	m.listeners = append(m.listeners, ln)
+	m.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-m.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		go func() {
+			defer conn.Close()
+			// Handle tracks itself with the shutdown WaitGroup and logs
+			// session failures.
+			m.Handle(conn)
+		}()
+	}
+}
+
+// Sessions snapshots the currently active sessions.
+func (m *Manager) Sessions() []SessionInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionInfo, 0, len(m.active))
+	for _, s := range m.active {
+		out = append(out, SessionInfo{ID: s.id, Started: s.started})
+	}
+	return out
+}
+
+// Stats snapshots aggregate activity.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		SessionsServed: m.served,
+		Active:         len(m.active),
+		KeyFrames:      m.keyFrames,
+		Teacher:        m.batcher.Stats(),
+	}
+}
+
+// Close stops accepting sessions, closes any listeners handed to
+// ServeListener, waits up to DrainTimeout for active sessions to finish
+// (then force-closes their connections), and shuts the shared teacher
+// queue down. Idempotent; concurrent callers block until the first
+// invocation completes.
+func (m *Manager) Close() error {
+	m.once.Do(func() {
+		close(m.quit)
+		m.mu.Lock()
+		m.closed = true
+		lns := m.listeners
+		m.listeners = nil
+		m.mu.Unlock()
+		for _, ln := range lns {
+			ln.Close()
+		}
+
+		done := make(chan struct{})
+		go func() {
+			m.wg.Wait()
+			close(done)
+		}()
+		if m.opts.DrainTimeout < 0 {
+			<-done
+		} else {
+			select {
+			case <-done:
+			case <-time.After(m.opts.DrainTimeout):
+				m.mu.Lock()
+				n := len(m.conns)
+				for c := range m.conns {
+					c.Close()
+				}
+				m.mu.Unlock()
+				m.logf("drain timed out, force-closed %d session conns", n)
+				<-done
+			}
+		}
+		m.batcher.Close()
+	})
+	return nil
+}
+
+func (m *Manager) logf(format string, v ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, v...)
+	}
+}

@@ -1,0 +1,265 @@
+package teacher
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/video"
+)
+
+// BatchInferrer is implemented by teachers that can label a whole batch of
+// frames in one invocation. The Batcher prefers this path: one call per
+// micro-batch amortises the per-request cost of reaching the (single,
+// serialised) teacher device, which is how the paper's one-GPU Mask R-CNN
+// would be shared across many client sessions.
+type BatchInferrer interface {
+	Teacher
+	InferBatch(frames []video.Frame) [][]int32
+}
+
+// BatcherOptions tunes the shared inference queue.
+type BatcherOptions struct {
+	// MaxBatch caps frames per teacher invocation (default 8).
+	MaxBatch int
+	// Workers bounds the goroutines executing batches (default 2). The
+	// teacher itself is serialised — one logical accelerator — so extra
+	// workers overlap result delivery and queueing, not inference.
+	Workers int
+	// Linger is how long the collector holds a non-full batch open waiting
+	// for more requests (default 200µs). Zero means "use the default";
+	// negative disables lingering entirely.
+	Linger time.Duration
+}
+
+func (o *BatcherOptions) setDefaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Linger == 0 {
+		o.Linger = 200 * time.Microsecond
+	}
+}
+
+// BatchStats summarises a Batcher's lifetime activity.
+type BatchStats struct {
+	Requests int64 // frames labelled through the queue
+	Batches  int64 // teacher invocations
+	MaxBatch int   // largest batch executed
+}
+
+// MeanBatch is the mean frames per teacher invocation.
+func (s BatchStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.Batches)
+}
+
+type batchReq struct {
+	frame video.Frame
+	out   chan []int32
+}
+
+// Batcher funnels concurrent Infer calls from many sessions into
+// micro-batched invocations of one shared Teacher. A collector goroutine
+// gathers up to MaxBatch requests (waiting at most Linger for stragglers)
+// and hands the batch to a bounded worker pool; session handlers block in
+// Infer until their frame's mask comes back. Access to the underlying
+// teacher is serialised, modelling the paper's single teacher GPU, so the
+// queue provides fairness and backpressure rather than teacher parallelism.
+//
+// Batcher itself implements Teacher, so it drops into core.Server unchanged.
+type Batcher struct {
+	t    Teacher
+	bi   BatchInferrer // non-nil when t supports the batch path
+	opts BatcherOptions
+
+	reqs    chan batchReq
+	batches chan []batchReq
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	teacherMu sync.Mutex // serialises all underlying-teacher access
+
+	statMu sync.Mutex
+	stats  BatchStats
+}
+
+// NewBatcher wraps t in a shared inference queue and starts its collector
+// and workers. Call Close when every session using it has finished.
+func NewBatcher(t Teacher, opts BatcherOptions) *Batcher {
+	opts.setDefaults()
+	b := &Batcher{
+		t:       t,
+		opts:    opts,
+		reqs:    make(chan batchReq, 4*opts.MaxBatch),
+		batches: make(chan []batchReq, opts.Workers),
+		quit:    make(chan struct{}),
+	}
+	if bi, ok := t.(BatchInferrer); ok {
+		b.bi = bi
+	}
+	b.wg.Add(1)
+	go b.collect()
+	for i := 0; i < opts.Workers; i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// Name implements Teacher.
+func (b *Batcher) Name() string { return "batched(" + b.t.Name() + ")" }
+
+// Infer implements Teacher: it enqueues the frame and blocks until the
+// shared teacher has labelled its batch. Safe for any number of concurrent
+// callers. After Close it falls back to a direct (still serialised) call so
+// stragglers never deadlock.
+func (b *Batcher) Infer(f video.Frame) []int32 {
+	r := batchReq{frame: f, out: make(chan []int32, 1)}
+	select {
+	case b.reqs <- r:
+		select {
+		case mask := <-r.out:
+			return mask
+		case <-b.quit:
+			// Shutdown raced our enqueue; the collector drains the queue
+			// before exiting, so the result may still arrive.
+			select {
+			case mask := <-r.out:
+				return mask
+			default:
+				return b.direct(f)
+			}
+		}
+	case <-b.quit:
+		return b.direct(f)
+	}
+}
+
+// direct labels one frame bypassing the queue (used only around shutdown).
+func (b *Batcher) direct(f video.Frame) []int32 {
+	b.teacherMu.Lock()
+	defer b.teacherMu.Unlock()
+	return b.t.Infer(f)
+}
+
+// Stats returns a snapshot of queue activity.
+func (b *Batcher) Stats() BatchStats {
+	b.statMu.Lock()
+	defer b.statMu.Unlock()
+	return b.stats
+}
+
+// Close stops the collector and workers, serving any requests already
+// queued. It is idempotent. Sessions should have finished (or be failing
+// over to the direct path) by the time it is called.
+func (b *Batcher) Close() {
+	b.once.Do(func() { close(b.quit) })
+	b.wg.Wait()
+}
+
+// collect gathers requests into micro-batches.
+func (b *Batcher) collect() {
+	defer b.wg.Done()
+	defer close(b.batches)
+	for {
+		var first batchReq
+		select {
+		case first = <-b.reqs:
+		case <-b.quit:
+			b.drain()
+			return
+		}
+		batch := append(make([]batchReq, 0, b.opts.MaxBatch), first)
+		if b.opts.Linger > 0 {
+			timer := time.NewTimer(b.opts.Linger)
+		fill:
+			for len(batch) < b.opts.MaxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					break fill
+				case <-b.quit:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+			// No linger: take only what is already queued.
+			for len(batch) < b.opts.MaxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				default:
+					goto dispatch
+				}
+			}
+		}
+	dispatch:
+		select {
+		case b.batches <- batch:
+		case <-b.quit:
+			b.run(batch) // serve in-line during shutdown
+			b.drain()
+			return
+		}
+	}
+}
+
+// drain serves whatever is still queued at shutdown so no Infer caller is
+// left blocked.
+func (b *Batcher) drain() {
+	for {
+		select {
+		case r := <-b.reqs:
+			b.run([]batchReq{r})
+		default:
+			return
+		}
+	}
+}
+
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	for batch := range b.batches {
+		b.run(batch)
+	}
+}
+
+// run executes one micro-batch against the shared teacher and delivers the
+// masks.
+func (b *Batcher) run(batch []batchReq) {
+	b.teacherMu.Lock()
+	var masks [][]int32
+	if b.bi != nil {
+		frames := make([]video.Frame, len(batch))
+		for i, r := range batch {
+			frames[i] = r.frame
+		}
+		masks = b.bi.InferBatch(frames)
+	} else {
+		masks = make([][]int32, len(batch))
+		for i, r := range batch {
+			masks[i] = b.t.Infer(r.frame)
+		}
+	}
+	b.teacherMu.Unlock()
+
+	b.statMu.Lock()
+	b.stats.Requests += int64(len(batch))
+	b.stats.Batches++
+	if len(batch) > b.stats.MaxBatch {
+		b.stats.MaxBatch = len(batch)
+	}
+	b.statMu.Unlock()
+
+	for i, r := range batch {
+		r.out <- masks[i]
+	}
+}

@@ -1,0 +1,100 @@
+package teacher
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/video"
+)
+
+// countingTeacher records invocations; it deliberately does NOT implement
+// BatchInferrer so the sequential fallback path is exercised too.
+type countingTeacher struct {
+	mu     sync.Mutex
+	infers int
+}
+
+func (c *countingTeacher) Name() string { return "counting" }
+
+func (c *countingTeacher) Infer(f video.Frame) []int32 {
+	c.mu.Lock()
+	c.infers++
+	c.mu.Unlock()
+	out := make([]int32, len(f.Label))
+	copy(out, f.Label)
+	return out
+}
+
+func testFrame(t *testing.T, seed int64) video.Frame {
+	t.Helper()
+	g, err := video.NewGenerator(video.CategoryConfig(
+		video.Category{Camera: video.Fixed, Scenery: video.People}, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Next()
+}
+
+func TestBatcherDeliversCorrectMasks(t *testing.T) {
+	frame := testFrame(t, 5)
+	oracle := NewOracle(9)
+	want := NewOracle(9).Infer(frame) // same seed, first call → same mask
+
+	b := NewBatcher(oracle, BatcherOptions{MaxBatch: 4, Workers: 2})
+	defer b.Close()
+	got := b.Infer(frame)
+	if len(got) != len(want) {
+		t.Fatalf("mask length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mask[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if st := b.Stats(); st.Requests != 1 || st.Batches != 1 {
+		t.Fatalf("stats %+v after one request", st)
+	}
+}
+
+func TestBatcherConcurrentCallersCoalesce(t *testing.T) {
+	frame := testFrame(t, 6)
+	ct := &countingTeacher{}
+	b := NewBatcher(ct, BatcherOptions{MaxBatch: 8, Workers: 2})
+
+	const callers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if mask := b.Infer(frame); len(mask) != len(frame.Label) {
+				t.Errorf("bad mask length %d", len(mask))
+			}
+		}()
+	}
+	wg.Wait()
+	b.Close()
+
+	st := b.Stats()
+	if st.Requests != callers {
+		t.Fatalf("served %d requests, want %d", st.Requests, callers)
+	}
+	if st.Batches > st.Requests || st.Batches < 1 {
+		t.Fatalf("implausible batches %d", st.Batches)
+	}
+	if st.MaxBatch > 8 {
+		t.Fatalf("batch %d exceeded MaxBatch 8", st.MaxBatch)
+	}
+	if ct.infers != callers {
+		t.Fatalf("teacher ran %d infers, want %d", ct.infers, callers)
+	}
+}
+
+func TestBatcherInferAfterCloseFallsBack(t *testing.T) {
+	frame := testFrame(t, 7)
+	b := NewBatcher(NewOracle(9), BatcherOptions{})
+	b.Close()
+	if mask := b.Infer(frame); len(mask) != len(frame.Label) {
+		t.Fatalf("direct fallback returned %d-pixel mask", len(mask))
+	}
+}

@@ -114,6 +114,18 @@ func (o *Oracle) Infer(f video.Frame) []int32 {
 	return out
 }
 
+// InferBatch implements BatchInferrer: it labels the frames sequentially in
+// one invocation, which is what a single shared device does with a batch
+// (the oracle has no tensor-level batching to exploit, but one call per
+// micro-batch amortises the Batcher's serialisation cost).
+func (o *Oracle) InferBatch(frames []video.Frame) [][]int32 {
+	out := make([][]int32, len(frames))
+	for i, f := range frames {
+		out[i] = o.Infer(f)
+	}
+	return out
+}
+
 // CNNTeacher wraps a (comparatively) large student-architecture network as a
 // genuine learned teacher. It exists to prove the distillation path works
 // against a real network, and for the ablation that swaps teachers.
@@ -142,6 +154,15 @@ func (t *CNNTeacher) Name() string { return t.name }
 func (t *CNNTeacher) Infer(f video.Frame) []int32 {
 	mask, _ := t.Net.Infer(f.Image)
 	return mask
+}
+
+// InferBatch implements BatchInferrer.
+func (t *CNNTeacher) InferBatch(frames []video.Frame) [][]int32 {
+	out := make([][]int32, len(frames))
+	for i, f := range frames {
+		out[i] = t.Infer(f)
+	}
+	return out
 }
 
 // Logits exposes raw teacher logits, used when distilling with soft targets.

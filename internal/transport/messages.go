@@ -57,17 +57,24 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
 
-// Hello is the session handshake payload.
+// Hello is the session handshake payload, sent client → server to open a
+// session and echoed server → client as the acknowledgement. SessionID lets
+// a client name its session on a multi-session server (internal/serve);
+// zero asks the server to assign one, and the ack carries the ID actually
+// assigned. Decoders tolerate the field's absence so version-1 payloads
+// that predate it still parse.
 type Hello struct {
-	Version  uint16
-	NumClass uint16
-	FrameW   uint16
-	FrameH   uint16
-	Partial  bool
+	Version   uint16
+	NumClass  uint16
+	FrameW    uint16
+	FrameH    uint16
+	Partial   bool
+	SessionID uint64
 }
 
-// Version is the current protocol version.
-const Version = 1
+// Version is the current protocol version. Version 2 added the SessionID
+// field and the server's Hello acknowledgement carrying the assigned ID.
+const Version = 2
 
 // KeyFrame is the client → server key frame payload. Label optionally
 // carries the synthetic ground-truth mask: the Oracle teacher (the
@@ -105,6 +112,7 @@ func EncodeHello(h Hello) []byte {
 		p = 1
 	}
 	buf.WriteByte(p)
+	binary.Write(&buf, binary.LittleEndian, h.SessionID)
 	return buf.Bytes()
 }
 
@@ -129,6 +137,11 @@ func DecodeHello(b []byte) (Hello, error) {
 		return h, fmt.Errorf("transport: hello partial flag: %w", err)
 	}
 	h.Partial = p != 0
+	if r.Len() >= 8 {
+		if err := binary.Read(r, binary.LittleEndian, &h.SessionID); err != nil {
+			return h, fmt.Errorf("transport: hello session id: %w", err)
+		}
+	}
 	return h, nil
 }
 
