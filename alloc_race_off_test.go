@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector is active. sync.Pool drops
+// Puts at random in race builds, so the allocation budgets (which depend on
+// pooled leases being recycled) only hold in normal builds.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package repro
+
+// raceEnabled mirrors alloc_race_off_test.go for race-detector builds.
+const raceEnabled = true

@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/video"
+)
+
+// Allocation budgets for the two hot paths, enforced with
+// testing.AllocsPerRun so the workspace-pool + blocked-GEMM win of PR 2
+// cannot silently regress. Budgets are measured steady-state counts plus
+// ~50% headroom; the pre-PR baselines (recorded in BENCH_pr2.json) were
+// 1062 allocs per student inference and 3931/4990 per partial/full distill
+// step, so each budget enforces well over the required 10× reduction.
+//
+// The remaining steady-state allocations are the per-Parallel-invocation
+// job + closure pair and the per-op backward closures of the training tape;
+// every tensor on these paths is a workspace lease.
+const (
+	inferAllocBudget          = 90
+	distillPartialAllocBudget = 260
+	distillFullAllocBudget    = 420
+)
+
+// allocStudent builds a small-but-real student and one frame without
+// touching the (expensive, allocation-heavy) pre-training path.
+func allocStudent(t testing.TB) (*nn.Student, video.Frame) {
+	t.Helper()
+	s := nn.NewStudent(nn.DefaultStudentConfig(), rand.New(rand.NewSource(41)))
+	gen, err := video.NewGenerator(video.CategoryConfig(video.Category{Camera: video.Fixed, Scenery: video.People}, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, gen.Next()
+}
+
+// measureAllocs reports steady-state allocations per call of fn: warmup
+// populates every lazily-built context and pool class first, and GC is
+// disabled so sync.Pool classes are not dumped mid-measurement.
+func measureAllocs(fn func()) float64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < 3; i++ {
+		fn() // warm caches, contexts and pool classes
+	}
+	return testing.AllocsPerRun(10, fn)
+}
+
+// skipUnderRace skips the budget tests in race builds: sync.Pool drops Puts
+// at random under the race detector, so pooled leases re-allocate and the
+// budgets measure the detector, not the hot path.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector (sync.Pool drops Puts)")
+	}
+}
+
+func TestAllocBudgetStudentInference(t *testing.T) {
+	skipUnderRace(t)
+	defer tensor.SetWorkers(tensor.SetWorkers(1))
+	s, frame := allocStudent(t)
+	got := measureAllocs(func() { s.Infer(frame.Image) })
+	t.Logf("student inference: %.0f allocs/op (budget %d, pre-PR baseline 1062)", got, inferAllocBudget)
+	if got > inferAllocBudget {
+		t.Fatalf("student inference allocates %.0f/op, budget %d — the zero-allocation hot path regressed", got, inferAllocBudget)
+	}
+}
+
+func TestAllocBudgetDistillStep(t *testing.T) {
+	skipUnderRace(t)
+	defer tensor.SetWorkers(tensor.SetWorkers(1))
+	for _, mode := range []struct {
+		name    string
+		partial bool
+		budget  float64
+	}{
+		{"partial", true, distillPartialAllocBudget},
+		{"full", false, distillFullAllocBudget},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.Partial = mode.partial
+			cfg.Threshold = 0.999 // force a full optimization step every call
+			cfg.MaxUpdates = 1
+			s, frame := allocStudent(t)
+			dist := core.NewDistiller(cfg, s)
+			got := measureAllocs(func() { dist.Train(frame, frame.Label) })
+			t.Logf("distill step (%s): %.0f allocs/op (budget %.0f)", mode.name, got, mode.budget)
+			if got > mode.budget {
+				t.Fatalf("distill step (%s) allocates %.0f/op, budget %.0f — the zero-allocation hot path regressed",
+					mode.name, got, mode.budget)
+			}
+		})
+	}
+}

@@ -65,6 +65,10 @@ func BenchmarkTable2DistillStep(b *testing.B) {
 			}
 			frame := gen.Next()
 			label := frame.Label
+			// Warm the per-distiller contexts and pool classes so the
+			// -benchtime=1x CI smoke measures steady state, not first-call
+			// lazy construction.
+			dist.Train(frame, label)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dist.Train(frame, label)
@@ -211,6 +215,9 @@ func BenchmarkStudentInference(b *testing.B) {
 		b.Fatal(err)
 	}
 	frame := gen.Next()
+	// Warm the inference context and pool classes (see the distill-step
+	// benchmark for rationale).
+	student.Infer(frame.Image)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		student.Infer(frame.Image)

@@ -4,6 +4,15 @@
 // prunes every edge that only feeds frozen leaves — this is the mechanism
 // behind the paper's partial distillation (§4.2): "gradient computation can
 // stop in the middle of the network".
+//
+// A tape may own a tensor.Workspace (NewTapeWS): every op output, gradient
+// accumulator and backward temporary is then leased from the workspace and
+// recycled on Reset, which is what drives steady-state allocations of the
+// distill/inference hot path towards zero. The trade-off is a lifetime rule:
+// Reset invalidates every Value and Grad produced on the tape since the
+// previous Reset, so results that must outlive the pass have to be cloned
+// (or the caller uses a workspace-free tape, which behaves exactly as
+// before). See ARCHITECTURE.md "Memory model".
 package autodiff
 
 import (
@@ -29,27 +38,70 @@ type Variable struct {
 // RequiresGrad reports whether gradients flow into this variable.
 func (v *Variable) RequiresGrad() bool { return v.requiresGrad }
 
+// varChunk is the allocation unit of the tape's variable arena. Chunks are
+// never moved or shrunk, so *Variable pointers stay valid across appends;
+// Reset just rewinds the in-use counter and reuses the structs in place.
+const varChunk = 64
+
 // Tape records operations for reverse-mode differentiation. It is not safe
 // for concurrent use; each training step builds a fresh tape (or calls
 // Reset).
 type Tape struct {
-	nodes []*Variable
+	nodes  []*Variable
+	chunks [][]Variable // arena backing the Variable structs
+	nused  int
+	ws     *tensor.Workspace
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty tape with no workspace: every op output is
+// freshly allocated and stays valid indefinitely.
 func NewTape() *Tape { return &Tape{} }
 
-// Reset discards all recorded nodes, retaining capacity.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// NewTapeWS returns an empty tape that leases op outputs, gradients and
+// backward temporaries from ws. Reset recycles them all.
+func NewTapeWS(ws *tensor.Workspace) *Tape { return &Tape{ws: ws} }
+
+// Workspace returns the tape's workspace (nil for allocation-backed tapes).
+func (t *Tape) Workspace() *tensor.Workspace { return t.ws }
+
+// Reset discards all recorded nodes, retaining capacity, and — when the
+// tape owns a workspace — recycles every tensor produced since the previous
+// Reset. Values and gradients obtained from this tape become invalid.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.nused = 0
+	t.ws.Reset()
+}
 
 // Len returns the number of recorded nodes (leaves + ops).
 func (t *Tape) Len() int { return len(t.nodes) }
 
+// newVar hands out a Variable from the arena, growing it chunk-wise.
+func (t *Tape) newVar() *Variable {
+	ci, cj := t.nused/varChunk, t.nused%varChunk
+	if ci == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]Variable, varChunk))
+	}
+	v := &t.chunks[ci][cj]
+	t.nused++
+	*v = Variable{}
+	return v
+}
+
+// register appends a prepared variable to the recording order.
+func (t *Tape) register(v *Variable) {
+	v.tape = t
+	v.id = len(t.nodes)
+	t.nodes = append(t.nodes, v)
+}
+
 // Leaf registers a value on the tape. requiresGrad=false leaves (e.g. the
 // frozen front of the student, or input frames) block gradient flow.
 func (t *Tape) Leaf(val *tensor.Tensor, requiresGrad bool) *Variable {
-	v := &Variable{Value: val, tape: t, id: len(t.nodes), requiresGrad: requiresGrad}
-	t.nodes = append(t.nodes, v)
+	v := t.newVar()
+	v.Value = val
+	v.requiresGrad = requiresGrad
+	t.register(v)
 	return v
 }
 
@@ -57,9 +109,11 @@ func (t *Tape) Leaf(val *tensor.Tensor, requiresGrad bool) *Variable {
 func (t *Tape) Constant(val *tensor.Tensor) *Variable { return t.Leaf(val, false) }
 
 // node creates an interior variable whose gradient requirement is the OR of
-// its inputs'. Ops with no grad-requiring inputs record no backward closure,
-// so the whole frozen prefix of a network costs nothing at backward time.
-func (t *Tape) node(val *tensor.Tensor, back func(), inputs ...*Variable) *Variable {
+// its inputs'. The caller attaches the backward closure only when the node
+// requires gradients, so the whole frozen prefix of a network records no
+// closures and costs nothing at backward time (and, with a workspace, the
+// inference path allocates no closures at all).
+func (t *Tape) node(val *tensor.Tensor, inputs ...*Variable) *Variable {
 	req := false
 	for _, in := range inputs {
 		if in.tape != t {
@@ -69,23 +123,38 @@ func (t *Tape) node(val *tensor.Tensor, back func(), inputs ...*Variable) *Varia
 			req = true
 		}
 	}
-	v := &Variable{Value: val, tape: t, id: len(t.nodes), requiresGrad: req}
-	if req {
-		v.backward = back
-	}
-	t.nodes = append(t.nodes, v)
+	v := t.newVar()
+	v.Value = val
+	v.requiresGrad = req
+	t.register(v)
 	return v
 }
 
-// accum adds g into v.Grad, allocating on first use. It is a no-op for
-// variables that do not require gradients — this is the pruning that makes
-// partial backward cheaper than full backward.
-func accum(v *Variable, g *tensor.Tensor) {
+// accum adds g into v.Grad (allocating or leasing on first use), borrowing
+// g: the caller retains ownership. It is a no-op for variables that do not
+// require gradients — this is the pruning that makes partial backward
+// cheaper than full backward.
+func (t *Tape) accum(v *Variable, g *tensor.Tensor) {
 	if !v.requiresGrad {
 		return
 	}
 	if v.Grad == nil {
-		v.Grad = g.Clone()
+		v.Grad = t.ws.GetDirty(g.Shape()...)
+		v.Grad.CopyFrom(g)
+		return
+	}
+	tensor.AxpyInto(v.Grad, 1, g)
+}
+
+// accumOwn transfers ownership of g — which must be a fresh lease from the
+// tape's workspace (or a fresh allocation on workspace-free tapes) — into
+// v.Grad, avoiding accum's defensive copy.
+func (t *Tape) accumOwn(v *Variable, g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = g
 		return
 	}
 	tensor.AxpyInto(v.Grad, 1, g)
@@ -104,12 +173,15 @@ func (t *Tape) Backward(root *Variable, seed *tensor.Tensor) int {
 		return 0
 	}
 	if seed == nil {
-		seed = tensor.Full(1, root.Value.Shape()...)
+		root.Grad = t.ws.GetDirty(root.Value.Shape()...)
+		root.Grad.Fill(1)
+	} else {
+		if !tensor.ShapeEq(seed.Shape(), root.Value.Shape()) {
+			panic(fmt.Sprintf("autodiff: seed shape %v != root shape %v", seed.Shape(), root.Value.Shape()))
+		}
+		root.Grad = t.ws.GetDirty(root.Value.Shape()...)
+		root.Grad.CopyFrom(seed)
 	}
-	if !tensor.ShapeEq(seed.Shape(), root.Value.Shape()) {
-		panic(fmt.Sprintf("autodiff: seed shape %v != root shape %v", seed.Shape(), root.Value.Shape()))
-	}
-	root.Grad = seed.Clone()
 	ran := 0
 	for i := root.id; i >= 0; i-- {
 		n := t.nodes[i]
@@ -129,77 +201,119 @@ func (t *Tape) ZeroGrads() {
 }
 
 // ---------------------------------------------------------------------------
-// Ops. Each builds the output value eagerly and registers a closure that
-// pulls the output grad into the inputs.
+// Ops. Each builds the output value eagerly (into workspace leases when the
+// tape has one) and, only when gradients are required, registers a closure
+// that pulls the output grad into the inputs.
 // ---------------------------------------------------------------------------
 
 // Add returns a + b.
 func (t *Tape) Add(a, b *Variable) *Variable {
-	out := tensor.Add(a.Value, b.Value)
-	var v *Variable
-	v = t.node(out, func() {
-		accum(a, v.Grad)
-		accum(b, v.Grad)
-	}, a, b)
+	out := t.ws.GetDirty(a.Value.Shape()...)
+	tensor.AddInto(out, a.Value, b.Value)
+	v := t.node(out, a, b)
+	if v.requiresGrad {
+		v.backward = func() {
+			t.accum(a, v.Grad)
+			t.accum(b, v.Grad)
+		}
+	}
 	return v
 }
 
 // Sub returns a - b.
 func (t *Tape) Sub(a, b *Variable) *Variable {
-	out := tensor.Sub(a.Value, b.Value)
-	var v *Variable
-	v = t.node(out, func() {
-		accum(a, v.Grad)
-		accum(b, tensor.Scale(v.Grad, -1))
-	}, a, b)
+	out := t.ws.GetDirty(a.Value.Shape()...)
+	tensor.SubInto(out, a.Value, b.Value)
+	v := t.node(out, a, b)
+	if v.requiresGrad {
+		v.backward = func() {
+			t.accum(a, v.Grad)
+			if b.requiresGrad {
+				g := t.ws.GetDirty(v.Grad.Shape()...)
+				tensor.ScaleInto(g, v.Grad, -1)
+				t.accumOwn(b, g)
+			}
+		}
+	}
 	return v
 }
 
 // Mul returns the elementwise product a*b.
 func (t *Tape) Mul(a, b *Variable) *Variable {
-	out := tensor.Mul(a.Value, b.Value)
-	var v *Variable
-	v = t.node(out, func() {
-		accum(a, tensor.Mul(v.Grad, b.Value))
-		accum(b, tensor.Mul(v.Grad, a.Value))
-	}, a, b)
+	out := t.ws.GetDirty(a.Value.Shape()...)
+	tensor.MulInto(out, a.Value, b.Value)
+	v := t.node(out, a, b)
+	if v.requiresGrad {
+		v.backward = func() {
+			if a.requiresGrad {
+				g := t.ws.GetDirty(v.Grad.Shape()...)
+				tensor.MulInto(g, v.Grad, b.Value)
+				t.accumOwn(a, g)
+			}
+			if b.requiresGrad {
+				g := t.ws.GetDirty(v.Grad.Shape()...)
+				tensor.MulInto(g, v.Grad, a.Value)
+				t.accumOwn(b, g)
+			}
+		}
+	}
 	return v
 }
 
 // Scale returns a*s for scalar s.
 func (t *Tape) Scale(a *Variable, s float32) *Variable {
-	out := tensor.Scale(a.Value, s)
-	var v *Variable
-	v = t.node(out, func() {
-		accum(a, tensor.Scale(v.Grad, s))
-	}, a)
+	out := t.ws.GetDirty(a.Value.Shape()...)
+	tensor.ScaleInto(out, a.Value, s)
+	v := t.node(out, a)
+	if v.requiresGrad {
+		v.backward = func() {
+			g := t.ws.GetDirty(v.Grad.Shape()...)
+			tensor.ScaleInto(g, v.Grad, s)
+			t.accumOwn(a, g)
+		}
+	}
 	return v
 }
 
 // ReLU returns max(a, 0).
 func (t *Tape) ReLU(a *Variable) *Variable {
-	out := tensor.ReLU(a.Value)
-	var v *Variable
-	v = t.node(out, func() {
-		accum(a, tensor.ReLUGrad(a.Value, v.Grad))
-	}, a)
+	out := t.ws.GetDirty(a.Value.Shape()...)
+	tensor.ReLUInto(out, a.Value)
+	v := t.node(out, a)
+	if v.requiresGrad {
+		v.backward = func() {
+			g := t.ws.GetDirty(v.Grad.Shape()...)
+			tensor.ReLUGradInto(g, a.Value, v.Grad)
+			t.accumOwn(a, g)
+		}
+	}
 	return v
 }
 
 // MatMul returns a×b for rank-2 variables.
 func (t *Tape) MatMul(a, b *Variable) *Variable {
-	out := tensor.MatMul(a.Value, b.Value)
-	var v *Variable
-	v = t.node(out, func() {
-		if a.requiresGrad {
-			// dA = gy × Bᵀ
-			accum(a, tensor.MatMulABT(v.Grad, b.Value))
+	if a.Value.Rank() != 2 || b.Value.Rank() != 2 {
+		panic(fmt.Sprintf("autodiff: MatMul requires rank-2 tensors, got %v × %v", a.Value.Shape(), b.Value.Shape()))
+	}
+	out := t.ws.GetDirty(a.Value.Dim(0), b.Value.Dim(1))
+	tensor.MatMulInto(out, a.Value, b.Value, false)
+	v := t.node(out, a, b)
+	if v.requiresGrad {
+		v.backward = func() {
+			if a.requiresGrad {
+				// dA = gy × Bᵀ
+				g := t.ws.GetDirty(a.Value.Shape()...)
+				tensor.MatMulABTInto(g, v.Grad, b.Value)
+				t.accumOwn(a, g)
+			}
+			if b.requiresGrad {
+				// dB = Aᵀ × gy
+				g := t.ws.GetDirty(b.Value.Shape()...)
+				tensor.MatMulATBInto(g, a.Value, v.Grad, false)
+				t.accumOwn(b, g)
+			}
 		}
-		if b.requiresGrad {
-			// dB = Aᵀ × gy
-			accum(b, tensor.MatMulATB(a.Value, v.Grad))
-		}
-	}, a, b)
+	}
 	return v
 }
 
@@ -212,59 +326,68 @@ func (t *Tape) Conv2D(x, w, bias *Variable, s tensor.ConvSpec) *Variable {
 	if bias != nil {
 		bt = bias.Value
 	}
-	out := tensor.Conv2D(x.Value, w.Value, bt, s)
-	inputs := []*Variable{x, w}
-	if bias != nil {
-		inputs = append(inputs, bias)
-	}
+	out := tensor.Conv2DWS(t.ws, x.Value, w.Value, bt, s)
 	var v *Variable
-	v = t.node(out, func() {
-		dx, dw, db := tensor.Conv2DBackward(x.Value, w.Value, v.Grad, s, x.requiresGrad)
-		if x.requiresGrad {
-			accum(x, dx)
+	if bias != nil {
+		v = t.node(out, x, w, bias)
+	} else {
+		v = t.node(out, x, w)
+	}
+	if v.requiresGrad {
+		v.backward = func() {
+			dx, dw, db := tensor.Conv2DBackwardWS(t.ws, x.Value, w.Value, v.Grad, s, x.requiresGrad)
+			if x.requiresGrad {
+				t.accumOwn(x, dx)
+			}
+			if w.requiresGrad {
+				t.accumOwn(w, dw)
+			}
+			if bias != nil && bias.requiresGrad {
+				t.accumOwn(bias, db)
+			}
 		}
-		if w.requiresGrad {
-			accum(w, dw)
-		}
-		if bias != nil && bias.requiresGrad {
-			accum(bias, db)
-		}
-	}, inputs...)
+	}
 	return v
 }
 
 // Upsample2x doubles spatial dimensions by nearest neighbour.
 func (t *Tape) Upsample2x(a *Variable) *Variable {
-	out := tensor.UpsampleNearest2x(a.Value)
-	var v *Variable
-	v = t.node(out, func() {
-		accum(a, tensor.UpsampleNearest2xBackward(v.Grad))
-	}, a)
+	out := tensor.UpsampleNearest2xWS(t.ws, a.Value)
+	v := t.node(out, a)
+	if v.requiresGrad {
+		v.backward = func() {
+			t.accumOwn(a, tensor.UpsampleNearest2xBackwardWS(t.ws, v.Grad))
+		}
+	}
 	return v
 }
 
 // AvgPool2x2 halves spatial dimensions by mean pooling.
 func (t *Tape) AvgPool2x2(a *Variable) *Variable {
-	out := tensor.AvgPool2x2(a.Value)
-	var v *Variable
-	v = t.node(out, func() {
-		g := v.Grad
-		c, oh, ow := g.Dim(0), g.Dim(1), g.Dim(2)
-		h, w := a.Value.Dim(1), a.Value.Dim(2)
-		dx := tensor.New(a.Value.Shape()...)
-		for ch := 0; ch < c; ch++ {
-			for y := 0; y < oh; y++ {
-				for x := 0; x < ow; x++ {
-					gv := g.Data[ch*oh*ow+y*ow+x] * 0.25
-					dx.Data[ch*h*w+(2*y)*w+2*x] = gv
-					dx.Data[ch*h*w+(2*y)*w+2*x+1] = gv
-					dx.Data[ch*h*w+(2*y+1)*w+2*x] = gv
-					dx.Data[ch*h*w+(2*y+1)*w+2*x+1] = gv
+	out := tensor.AvgPool2x2WS(t.ws, a.Value)
+	v := t.node(out, a)
+	if v.requiresGrad {
+		v.backward = func() {
+			g := v.Grad
+			c, oh, ow := g.Dim(0), g.Dim(1), g.Dim(2)
+			h, w := a.Value.Dim(1), a.Value.Dim(2)
+			// Odd trailing rows/columns receive no gradient, so the buffer
+			// must start zeroed.
+			dx := t.ws.Get(a.Value.Shape()...)
+			for ch := 0; ch < c; ch++ {
+				for y := 0; y < oh; y++ {
+					for x := 0; x < ow; x++ {
+						gv := g.Data[ch*oh*ow+y*ow+x] * 0.25
+						dx.Data[ch*h*w+(2*y)*w+2*x] = gv
+						dx.Data[ch*h*w+(2*y)*w+2*x+1] = gv
+						dx.Data[ch*h*w+(2*y+1)*w+2*x] = gv
+						dx.Data[ch*h*w+(2*y+1)*w+2*x+1] = gv
+					}
 				}
 			}
+			t.accumOwn(a, dx)
 		}
-		accum(a, dx)
-	}, a)
+	}
 	return v
 }
 
@@ -276,14 +399,16 @@ func (t *Tape) Concat(xs ...*Variable) *Variable {
 		vals[i] = x.Value
 		chans[i] = x.Value.Dim(0)
 	}
-	out := tensor.Concat(vals...)
-	var v *Variable
-	v = t.node(out, func() {
-		parts := tensor.SplitChannels(v.Grad, chans)
-		for i, x := range xs {
-			accum(x, parts[i])
+	out := tensor.ConcatWS(t.ws, vals...)
+	v := t.node(out, xs...)
+	if v.requiresGrad {
+		v.backward = func() {
+			parts := tensor.SplitChannelsWS(t.ws, v.Grad, chans)
+			for i, x := range xs {
+				t.accumOwn(x, parts[i])
+			}
 		}
-	}, xs...)
+	}
 	return v
 }
 
@@ -295,8 +420,10 @@ func (t *Tape) Concat(xs ...*Variable) *Variable {
 func (t *Tape) BatchNorm(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, training bool, momentum, eps float32) *Variable {
 	c, h, w := x.Value.Dim(0), x.Value.Dim(1), x.Value.Dim(2)
 	hw := h * w
-	mean := make([]float32, c)
-	varc := make([]float32, c)
+	meanT := t.ws.GetDirty(c)
+	varT := t.ws.GetDirty(c)
+	invStdT := t.ws.GetDirty(c)
+	mean, varc, invStd := meanT.Data, varT.Data, invStdT.Data
 	if training {
 		for ch := 0; ch < c; ch++ {
 			seg := x.Value.Data[ch*hw : (ch+1)*hw]
@@ -320,12 +447,11 @@ func (t *Tape) BatchNorm(x, gamma, beta *Variable, runMean, runVar *tensor.Tenso
 		copy(mean, runMean.Data)
 		copy(varc, runVar.Data)
 	}
-	invStd := make([]float32, c)
 	for ch := 0; ch < c; ch++ {
 		invStd[ch] = 1 / sqrt32(varc[ch]+eps)
 	}
-	xhat := tensor.New(c, h, w)
-	out := tensor.New(c, h, w)
+	xhat := t.ws.GetDirty(c, h, w)
+	out := t.ws.GetDirty(c, h, w)
 	for ch := 0; ch < c; ch++ {
 		g, b := gamma.Value.Data[ch], beta.Value.Data[ch]
 		m, is := mean[ch], invStd[ch]
@@ -338,68 +464,74 @@ func (t *Tape) BatchNorm(x, gamma, beta *Variable, runMean, runVar *tensor.Tenso
 			os[i] = g*xh + b
 		}
 	}
-	var v *Variable
-	v = t.node(out, func() {
-		gy := v.Grad
-		// dGamma, dBeta
-		if gamma.requiresGrad || beta.requiresGrad {
-			dg := tensor.New(c)
-			db := tensor.New(c)
-			for ch := 0; ch < c; ch++ {
-				gs := gy.Data[ch*hw : (ch+1)*hw]
-				hs := xhat.Data[ch*hw : (ch+1)*hw]
-				var sg, sb float64
-				for i, g := range gs {
-					sg += float64(g) * float64(hs[i])
-					sb += float64(g)
+	v := t.node(out, x, gamma, beta)
+	if v.requiresGrad {
+		v.backward = func() {
+			gy := v.Grad
+			// dGamma, dBeta
+			if gamma.requiresGrad || beta.requiresGrad {
+				dg := t.ws.GetDirty(c)
+				db := t.ws.GetDirty(c)
+				for ch := 0; ch < c; ch++ {
+					gs := gy.Data[ch*hw : (ch+1)*hw]
+					hs := xhat.Data[ch*hw : (ch+1)*hw]
+					var sg, sb float64
+					for i, g := range gs {
+						sg += float64(g) * float64(hs[i])
+						sb += float64(g)
+					}
+					dg.Data[ch] = float32(sg)
+					db.Data[ch] = float32(sb)
 				}
-				dg.Data[ch] = float32(sg)
-				db.Data[ch] = float32(sb)
+				t.accumOwn(gamma, dg)
+				t.accumOwn(beta, db)
 			}
-			accum(gamma, dg)
-			accum(beta, db)
-		}
-		if x.requiresGrad {
-			dx := tensor.New(c, h, w)
-			n := float32(hw)
-			for ch := 0; ch < c; ch++ {
-				g := gamma.Value.Data[ch]
-				is := invStd[ch]
-				gs := gy.Data[ch*hw : (ch+1)*hw]
-				hs := xhat.Data[ch*hw : (ch+1)*hw]
-				ds := dx.Data[ch*hw : (ch+1)*hw]
-				if training {
-					var sumG, sumGX float64
-					for i, gv := range gs {
-						sumG += float64(gv)
-						sumGX += float64(gv) * float64(hs[i])
-					}
-					sg := float32(sumG)
-					sgx := float32(sumGX)
-					for i, gv := range gs {
-						ds[i] = g * is / n * (n*gv - sg - hs[i]*sgx)
-					}
-				} else {
-					for i, gv := range gs {
-						ds[i] = g * is * gv
+			if x.requiresGrad {
+				dx := t.ws.GetDirty(c, h, w)
+				n := float32(hw)
+				for ch := 0; ch < c; ch++ {
+					g := gamma.Value.Data[ch]
+					is := invStd[ch]
+					gs := gy.Data[ch*hw : (ch+1)*hw]
+					hs := xhat.Data[ch*hw : (ch+1)*hw]
+					ds := dx.Data[ch*hw : (ch+1)*hw]
+					if training {
+						var sumG, sumGX float64
+						for i, gv := range gs {
+							sumG += float64(gv)
+							sumGX += float64(gv) * float64(hs[i])
+						}
+						sg := float32(sumG)
+						sgx := float32(sumGX)
+						for i, gv := range gs {
+							ds[i] = g * is / n * (n*gv - sg - hs[i]*sgx)
+						}
+					} else {
+						for i, gv := range gs {
+							ds[i] = g * is * gv
+						}
 					}
 				}
+				t.accumOwn(x, dx)
 			}
-			accum(x, dx)
 		}
-	}, x, gamma, beta)
+	}
 	return v
 }
 
 // SumScalar reduces a variable to a 1-element tensor holding the sum of all
 // entries. Used as the terminal loss node.
 func (t *Tape) SumScalar(a *Variable) *Variable {
-	out := tensor.FromSlice([]float32{float32(a.Value.Sum())}, 1)
-	var v *Variable
-	v = t.node(out, func() {
-		g := tensor.Full(v.Grad.Data[0], a.Value.Shape()...)
-		accum(a, g)
-	}, a)
+	out := t.ws.GetDirty(1)
+	out.Data[0] = float32(a.Value.Sum())
+	v := t.node(out, a)
+	if v.requiresGrad {
+		v.backward = func() {
+			g := t.ws.GetDirty(a.Value.Shape()...)
+			g.Fill(v.Grad.Data[0])
+			t.accumOwn(a, g)
+		}
+	}
 	return v
 }
 

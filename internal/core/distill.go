@@ -22,6 +22,19 @@ type Distiller struct {
 	TotalSteps    int
 	TotalTrains   int
 	TotalStepTime time.Duration
+
+	// Reusable hot-loop state: the training pass context (tape + workspace),
+	// loss buffers, optimizer parameter list, metric scratch and the
+	// best-weights snapshot. All are lazily sized and recycled across Train
+	// calls so a steady-state distillation step allocates almost nothing.
+	trainCtx   *nn.ForwardCtx
+	gradBuf    *tensor.Tensor
+	probsBuf   []float64
+	weightsBuf []float32
+	optBuf     []optim.Param
+	evalCM     *metrics.ConfusionMatrix
+	snap       *nn.ParamSet
+	snapSig    int
 }
 
 // NewDistiller wraps student with a fresh Adam optimizer and sets the
@@ -47,11 +60,10 @@ type TrainResult struct {
 func (d *Distiller) Train(frame video.Frame, label []int32) TrainResult {
 	img := frame.Image
 	h, w := img.Dim(1), img.Dim(2)
-	numClasses := d.Student.Config.NumClasses
 
 	pred, _ := d.Student.Infer(img)
-	bestMetric := metrics.MeanIoU(pred, label, numClasses)
-	var bestParams *nn.ParamSet // lazily cloned only if training improves
+	bestMetric := d.meanIoU(pred, label)
+	haveBest := false
 
 	res := TrainResult{Metric: bestMetric}
 	if bestMetric >= d.Cfg.Threshold {
@@ -63,26 +75,38 @@ func (d *Distiller) Train(frame video.Frame, label []int32) TrainResult {
 
 	var weights []float32
 	if !d.Cfg.UnweightedLoss {
-		weights = loss.PixelWeights(label, h, w)
+		d.weightsBuf = loss.PixelWeightsInto(d.weightsBuf, label, h, w)
+		weights = d.weightsBuf
+	}
+	if d.trainCtx == nil {
+		d.trainCtx = nn.NewForwardCtxWS(true, tensor.NewWorkspace())
 	}
 	start := time.Now()
 	for i := 0; i < d.Cfg.MaxUpdates; i++ {
-		fc := nn.NewForwardCtx(true)
+		fc := d.trainCtx
+		fc.Reset(true)
 		out := d.Student.Forward(fc, img)
-		_, grad := loss.SoftmaxCrossEntropy(out.Value, label, weights)
-		fc.Tape.Backward(out, grad)
-		params := d.Student.Params.OptimParams(fc.Vars)
-		if d.Cfg.GradClipNorm > 0 {
-			optim.GradClip(params, d.Cfg.GradClipNorm)
+		if d.gradBuf == nil || !tensor.ShapeEq(d.gradBuf.Shape(), out.Value.Shape()) {
+			d.gradBuf = tensor.New(out.Value.Shape()...)
 		}
-		d.Opt.Step(params)
+		if d.probsBuf == nil {
+			d.probsBuf = make([]float64, d.Student.Config.NumClasses)
+		}
+		loss.SoftmaxCrossEntropyInto(d.gradBuf, out.Value, label, weights, d.probsBuf)
+		fc.Tape.Backward(out, d.gradBuf)
+		d.optBuf = d.Student.Params.AppendOptimParams(d.optBuf[:0], fc.Vars)
+		if d.Cfg.GradClipNorm > 0 {
+			optim.GradClip(d.optBuf, d.Cfg.GradClipNorm)
+		}
+		d.Opt.Step(d.optBuf)
 		res.Steps++
 
 		pred, _ = d.Student.Infer(img)
-		metric := metrics.MeanIoU(pred, label, numClasses)
+		metric := d.meanIoU(pred, label)
 		if metric > bestMetric {
 			bestMetric = metric
-			bestParams = snapshotTrainable(d.Student.Params)
+			d.saveBest()
+			haveBest = true
 		}
 		if metric >= d.Cfg.Threshold {
 			break
@@ -92,13 +116,35 @@ func (d *Distiller) Train(frame video.Frame, label []int32) TrainResult {
 	res.Metric = bestMetric
 	// Restore the best-performing weights (Algorithm 1 returns
 	// best_student, not the last iterate).
-	if bestParams != nil {
-		d.Student.Params.ApplyValues(bestParams)
+	if haveBest {
+		d.Student.Params.ApplyValues(d.snap)
 	}
 	d.TotalSteps += res.Steps
 	d.TotalTrains++
 	d.TotalStepTime += res.StepTime
 	return res
+}
+
+// meanIoU computes the per-key-frame metric on a reused confusion matrix.
+func (d *Distiller) meanIoU(pred, label []int32) float64 {
+	if d.evalCM == nil {
+		d.evalCM = metrics.NewConfusionMatrix(d.Student.Config.NumClasses)
+	}
+	d.evalCM.Reset()
+	d.evalCM.Add(pred, label)
+	return d.evalCM.MeanIoU()
+}
+
+// saveBest copies the trainable parameters (plus BN statistics) into the
+// reusable snapshot, rebuilding the snapshot's name set only when the freeze
+// configuration changed since it was built.
+func (d *Distiller) saveBest() {
+	if sig := d.Student.Params.NumTrainable(); d.snap == nil || sig != d.snapSig {
+		d.snap = snapshotTrainable(d.Student.Params)
+		d.snapSig = sig
+		return
+	}
+	d.snap.CopyValuesFrom(d.Student.Params)
 }
 
 // MeanSteps returns the mean number of distillation steps per Train call

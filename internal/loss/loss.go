@@ -23,10 +23,21 @@ const (
 // ObjectWeight near/within non-background objects, 1 elsewhere. label holds
 // class indices with 0 = background.
 func PixelWeights(label []int32, h, w int) []float32 {
+	return PixelWeightsInto(nil, label, h, w)
+}
+
+// PixelWeightsInto is PixelWeights writing into dst, which is grown (only)
+// when too small and returned; pass a retained buffer to avoid per-frame
+// allocation.
+func PixelWeightsInto(dst []float32, label []int32, h, w int) []float32 {
 	if len(label) != h*w {
 		panic(fmt.Sprintf("loss: label length %d != %dx%d", len(label), h, w))
 	}
-	wts := make([]float32, h*w)
+	wts := dst
+	if cap(wts) < h*w {
+		wts = make([]float32, h*w)
+	}
+	wts = wts[:h*w]
 	for i := range wts {
 		wts[i] = 1
 	}
@@ -52,6 +63,16 @@ func PixelWeights(label []int32, h, w int) []float32 {
 // gradient of that loss with respect to the logits. weights may be nil for
 // uniform weighting. The gradient tensor has the logits' shape.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, label []int32, weights []float32) (lossVal float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Shape()...)
+	lossVal = SoftmaxCrossEntropyInto(grad, logits, label, weights, nil)
+	return lossVal, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logit gradient
+// into grad (same shape as logits, every element overwritten). probs is
+// optional scratch of length ≥ C; pass a retained buffer to avoid per-step
+// allocation.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, label []int32, weights []float32, probs []float64) float64 {
 	c, h, w := logits.Dim(0), logits.Dim(1), logits.Dim(2)
 	hw := h * w
 	if len(label) != hw {
@@ -60,9 +81,14 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, label []int32, weights []float32
 	if weights != nil && len(weights) != hw {
 		panic(fmt.Sprintf("loss: weights length %d != spatial size %d", len(weights), hw))
 	}
-	grad = tensor.New(c, h, w)
+	if !tensor.ShapeEq(grad.Shape(), logits.Shape()) {
+		panic(fmt.Sprintf("loss: grad shape %v != logits shape %v", grad.Shape(), logits.Shape()))
+	}
 	var totalLoss, totalWeight float64
-	probs := make([]float64, c)
+	if cap(probs) < c {
+		probs = make([]float64, c)
+	}
+	probs = probs[:c]
 	for p := 0; p < hw; p++ {
 		// stable softmax over channels at pixel p
 		m := float64(logits.Data[p])
@@ -96,13 +122,13 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, label []int32, weights []float32
 		}
 	}
 	if totalWeight == 0 {
-		return 0, grad
+		return 0
 	}
 	inv := float32(1 / totalWeight)
 	for i := range grad.Data {
 		grad.Data[i] *= inv
 	}
-	return totalLoss / totalWeight, grad
+	return totalLoss / totalWeight
 }
 
 // Softmax returns per-pixel channel probabilities for CHW logits.

@@ -23,9 +23,26 @@ type ForwardCtx struct {
 	Vars     map[string]*autodiff.Variable
 }
 
-// NewForwardCtx returns a context over a fresh tape.
+// NewForwardCtx returns a context over a fresh workspace-free tape: values
+// it produces stay valid indefinitely, at allocation cost.
 func NewForwardCtx(training bool) *ForwardCtx {
 	return &ForwardCtx{Tape: autodiff.NewTape(), Training: training, Vars: map[string]*autodiff.Variable{}}
+}
+
+// NewForwardCtxWS returns a context whose tape leases every tensor from ws.
+// Combined with Reset, a long-lived context runs pass after pass with
+// near-zero steady-state allocations; each Reset invalidates the previous
+// pass's values and gradients.
+func NewForwardCtxWS(training bool, ws *tensor.Workspace) *ForwardCtx {
+	return &ForwardCtx{Tape: autodiff.NewTapeWS(ws), Training: training, Vars: map[string]*autodiff.Variable{}}
+}
+
+// Reset prepares the context for a fresh pass, recycling the tape (and its
+// workspace leases, when present) and clearing the parameter map.
+func (fc *ForwardCtx) Reset(training bool) {
+	fc.Tape.Reset()
+	fc.Training = training
+	clear(fc.Vars)
 }
 
 // Var registers p's value on the tape (once per pass) and returns the tape

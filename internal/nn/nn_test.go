@@ -240,11 +240,21 @@ func TestStudentCloneIndependent(t *testing.T) {
 func TestStudentDeterministicForward(t *testing.T) {
 	s := NewStudent(DefaultStudentConfig(), rand.New(rand.NewSource(8)))
 	img := tensor.Full(0.3, 3, 16, 16)
-	_, a := s.Infer(img)
-	_, b := s.Infer(img)
+	// Infer results are only valid until the next Infer on the same student
+	// (the logits live in the student's recycled workspace), so snapshot the
+	// first pass before running the second.
+	_, first := s.Infer(img)
+	a := first.Clone()
+	mask1 := append([]int32(nil), s.maskBuf...)
+	mask2, b := s.Infer(img)
 	for i := range a.Data {
 		if a.Data[i] != b.Data[i] {
 			t.Fatal("inference must be deterministic")
+		}
+	}
+	for i := range mask1 {
+		if mask1[i] != mask2[i] {
+			t.Fatal("mask must be deterministic")
 		}
 	}
 }

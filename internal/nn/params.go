@@ -168,7 +168,13 @@ func (ps *ParamSet) ApplyValues(src *ParamSet) {
 // tape variables, suitable for optim.Optimizer.Step. vars maps name →
 // tape variable of the current forward pass.
 func (ps *ParamSet) OptimParams(vars map[string]*autodiff.Variable) []optim.Param {
-	out := make([]optim.Param, 0, len(ps.params))
+	return ps.AppendOptimParams(make([]optim.Param, 0, len(ps.params)), vars)
+}
+
+// AppendOptimParams is OptimParams appending into dst (typically a reused
+// buffer sliced to zero length), so steady-state training steps build the
+// parameter list without allocating.
+func (ps *ParamSet) AppendOptimParams(dst []optim.Param, vars map[string]*autodiff.Variable) []optim.Param {
 	for _, p := range ps.params {
 		if p.Frozen {
 			continue
@@ -177,9 +183,9 @@ func (ps *ParamSet) OptimParams(vars map[string]*autodiff.Variable) []optim.Para
 		if v == nil {
 			continue
 		}
-		out = append(out, optim.Param{Name: p.Name, Value: p.Value, Grad: v.Grad})
+		dst = append(dst, optim.Param{Name: p.Name, Value: p.Value, Grad: v.Grad})
 	}
-	return out
+	return dst
 }
 
 // InitKaiming fills t with Kaiming-He normal initialisation for a conv
@@ -263,6 +269,9 @@ func ReadNamed(r io.Reader) ([]*Parameter, error) {
 			return nil, fmt.Errorf("nn: implausible rank %d", rank)
 		}
 		shape := make([]int, rank)
+		// int64 with a check after every multiply: the running product stays
+		// ≤ 2^52 (2^28 × 2^24), so it cannot overflow even on 32-bit builds.
+		elems := int64(1)
 		for d := range shape {
 			var dim int32
 			if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
@@ -272,6 +281,16 @@ func ReadNamed(r io.Reader) ([]*Parameter, error) {
 				return nil, fmt.Errorf("nn: implausible dimension %d", dim)
 			}
 			shape[d] = int(dim)
+			elems *= int64(dim)
+			if elems > 1<<28 {
+				return nil, fmt.Errorf("nn: implausible tensor size %d elems", elems)
+			}
+		}
+		// A corrupt header must not force a giant allocation: when the
+		// reader knows its remaining length (bytes.Reader in the transport
+		// decoders), verify the claimed payload fits before allocating.
+		if lr, ok := r.(interface{ Len() int }); ok && 4*elems > int64(lr.Len()) {
+			return nil, fmt.Errorf("nn: tensor claims %d bytes, only %d remain", 4*elems, lr.Len())
 		}
 		t := tensor.New(shape...)
 		if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {

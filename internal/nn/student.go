@@ -57,6 +57,12 @@ type Student struct {
 	in1, in2                     *Conv2D
 	sb1, sb2, sb3, sb4, sb5, sb6 *StudentBlock
 	out1, out2, out3             *Conv2D
+
+	// inferCtx is the reusable inference context: its tape leases every
+	// activation from a private workspace, so steady-state Infer calls
+	// allocate (almost) nothing. maskBuf is the reusable argmax output.
+	inferCtx *ForwardCtx
+	maskBuf  []int32
 }
 
 // NewStudent builds a freshly initialised student from cfg using rng.
@@ -116,11 +122,21 @@ func (s *Student) Forward(fc *ForwardCtx, img *tensor.Tensor) *autodiff.Variable
 
 // Infer runs a gradient-free forward pass and returns the argmax mask
 // (len H*W) plus the raw logits.
+//
+// Both returned values live in buffers owned by the student and are only
+// valid until the next Infer call on the same student; callers that keep
+// them across frames must copy. (Every in-tree caller consumes them
+// immediately.) Like training, Infer is not safe for concurrent use on one
+// student — sessions each own a private clone.
 func (s *Student) Infer(img *tensor.Tensor) (mask []int32, logits *tensor.Tensor) {
-	fc := NewForwardCtx(false)
-	out := s.Forward(fc, img)
+	if s.inferCtx == nil {
+		s.inferCtx = NewForwardCtxWS(false, tensor.NewWorkspace())
+	}
+	s.inferCtx.Reset(false)
+	out := s.Forward(s.inferCtx, img)
 	logits = out.Value
-	return logits.ArgmaxChannel(nil), logits
+	s.maskBuf = logits.ArgmaxChannel(s.maskBuf)
+	return s.maskBuf, logits
 }
 
 // SetPartial configures the freeze state: partial=true freezes the stem

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// noiselessOracle returns a fully deterministic teacher: with the noise
+// model switched off its output depends only on the frame, so two sessions
+// over identical streams must distil identical students regardless of how
+// their tensor-pool leases interleave.
+func noiselessOracle() *teacher.Oracle {
+	return &teacher.Oracle{BoundaryNoise: 0, MissRate: 0}
+}
+
+// runIsolationClient drives one session and returns the client's final
+// student parameters. It reports failures as errors instead of t.Fatal so it
+// is safe to call from spawned goroutines.
+func runIsolationClient(m *Manager, seed int64, frames int) (map[string][]float32, error) {
+	clientConn, serverConn := transport.Pipe(4, nil)
+	defer clientConn.Close()
+
+	errs := make(chan error, 1)
+	go func() {
+		defer serverConn.Close()
+		errs <- m.Handle(serverConn)
+	}()
+
+	gen, err := video.NewGenerator(video.CategoryConfig(
+		video.Category{Camera: video.Fixed, Scenery: video.People}, seed))
+	if err != nil {
+		return nil, err
+	}
+	cl := &core.Client{Cfg: core.DefaultConfig(), Student: tinyStudent(seed + 900)}
+	if err := cl.Run(clientConn, gen, frames); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	clientConn.Close()
+	if err := <-errs; err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return snapshotParams(cl.Student), nil
+}
+
+// TestConcurrentSessionsBitwiseMatchSerial is the workspace-pool isolation
+// test: every per-session buffer (tape values, gradients, im2col scratch,
+// optimizer state) now comes from recycled pools shared across the process,
+// so any cross-session aliasing — a leased tensor escaping into another
+// session, stale data surviving where zeroed memory is assumed — would make
+// a concurrent session's distilled weights diverge from the serial
+// reference. With a deterministic teacher and identical streams, 8+
+// concurrent sessions must each finish bitwise identical to a session that
+// ran alone. Run with -race, this also proves the pool itself is
+// data-race-free under the multi-session server.
+func TestConcurrentSessionsBitwiseMatchSerial(t *testing.T) {
+	const clients = 8
+	const frames = 24
+	const seed = 5
+
+	// Serial reference: one session on a fresh manager.
+	base := tinyStudent(77)
+	mRef, err := NewManager(Options{Cfg: core.DefaultConfig(), Base: base, Teacher: noiselessOracle(), MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runIsolationClient(mRef, seed, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRef.Close()
+
+	// Concurrent run: identical stream and base checkpoint in every session.
+	m, err := NewManager(Options{Cfg: core.DefaultConfig(), Base: base.Clone(), Teacher: noiselessOracle(), MaxSessions: clients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	results := make([]map[string][]float32, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = runIsolationClient(m, seed, frames)
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent session %d: %v", c, err)
+		}
+	}
+
+	for c, got := range results {
+		for name, w := range want {
+			g := got[name]
+			for i := range w {
+				if g[i] != w[i] {
+					t.Fatalf("session %d: parameter %s[%d] = %v, serial reference %v — cross-session buffer aliasing or stale pooled data",
+						c, name, i, g[i], w[i])
+				}
+			}
+		}
+	}
+}

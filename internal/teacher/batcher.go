@@ -83,7 +83,10 @@ type Batcher struct {
 	wg      sync.WaitGroup
 	once    sync.Once
 
-	teacherMu sync.Mutex // serialises all underlying-teacher access
+	teacherMu sync.Mutex    // serialises all underlying-teacher access
+	frames    []video.Frame // InferBatch argument buffer, guarded by teacherMu
+
+	batchPool sync.Pool // recycled []batchReq backing arrays
 
 	statMu sync.Mutex
 	stats  BatchStats
@@ -175,7 +178,7 @@ func (b *Batcher) collect() {
 			b.drain()
 			return
 		}
-		batch := append(make([]batchReq, 0, b.opts.MaxBatch), first)
+		batch := append(b.leaseBatch(), first)
 		if b.opts.Linger > 0 {
 			timer := time.NewTimer(b.opts.Linger)
 		fill:
@@ -232,17 +235,29 @@ func (b *Batcher) worker() {
 	}
 }
 
+// leaseBatch returns an empty request slice with MaxBatch capacity, reusing
+// a recycled backing array when one is available.
+func (b *Batcher) leaseBatch() []batchReq {
+	if v := b.batchPool.Get(); v != nil {
+		return v.([]batchReq)[:0]
+	}
+	return make([]batchReq, 0, b.opts.MaxBatch)
+}
+
 // run executes one micro-batch against the shared teacher and delivers the
-// masks.
+// masks. The batch slice is recycled afterwards; the masks themselves are
+// teacher-owned fresh copies that escape to the requesting sessions.
 func (b *Batcher) run(batch []batchReq) {
 	b.teacherMu.Lock()
 	var masks [][]int32
 	if b.bi != nil {
-		frames := make([]video.Frame, len(batch))
-		for i, r := range batch {
-			frames[i] = r.frame
+		frames := b.frames[:0]
+		for _, r := range batch {
+			frames = append(frames, r.frame)
 		}
 		masks = b.bi.InferBatch(frames)
+		clear(frames) // drop frame-image references; keep only capacity
+		b.frames = frames[:0]
 	} else {
 		masks = make([][]int32, len(batch))
 		for i, r := range batch {
@@ -261,5 +276,9 @@ func (b *Batcher) run(batch []batchReq) {
 
 	for i, r := range batch {
 		r.out <- masks[i]
+	}
+	if cap(batch) >= b.opts.MaxBatch {
+		clear(batch) // don't pin frames/channels from the pooled backing array
+		b.batchPool.Put(batch[:0])
 	}
 }

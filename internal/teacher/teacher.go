@@ -40,6 +40,8 @@ type Oracle struct {
 	// or occluded instances.
 	MissRate float64
 	rng      *rand.Rand
+	scratch  []int32 // reused boundary-noise source copy (Oracle is already
+	// single-caller: its rng serialises it behind the Batcher's teacher lock)
 }
 
 // NewOracle returns an oracle teacher with the default noise profile. The
@@ -66,29 +68,40 @@ func (o *Oracle) Infer(f video.Frame) []int32 {
 	// Decide per-class misses for this frame (objects of a missed class id
 	// instance are approximated by class here; instance ids are not
 	// tracked, so misses are rare by default).
-	missed := map[int32]bool{}
+	// Class sets are walked in ascending class order, NOT map order: rng
+	// draws must be consumed deterministically or two oracles with the same
+	// seed diverge at random (map iteration order).
+	var present, missed [video.NumClasses]bool
 	if o.MissRate > 0 {
-		present := map[int32]bool{}
 		for _, c := range f.Label {
-			if c != video.Background {
+			if c != video.Background && c >= 0 && int(c) < video.NumClasses {
 				present[c] = true
 			}
 		}
+		anyMissed := false
 		for c := range present {
-			if o.rng.Float64() < o.MissRate {
+			if present[c] && o.rng.Float64() < o.MissRate {
 				missed[c] = true
+				anyMissed = true
 			}
 		}
-	}
-	for i, c := range out {
-		if missed[c] {
-			out[i] = video.Background
+		if anyMissed {
+			for i, c := range out {
+				// Labels arrive raw off the wire; out-of-range classes are
+				// simply never "missed" rather than crashing the server.
+				if c >= 0 && int(c) < video.NumClasses && missed[c] {
+					out[i] = video.Background
+				}
+			}
 		}
 	}
 
 	// Boundary noise: flip pixels adjacent to a different class.
 	if o.BoundaryNoise > 0 {
-		src := make([]int32, len(out))
+		if cap(o.scratch) < len(out) {
+			o.scratch = make([]int32, len(out))
+		}
+		src := o.scratch[:len(out)]
 		copy(src, out)
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
@@ -150,10 +163,12 @@ func NewCNNTeacher(seed int64) *CNNTeacher {
 // Name implements Teacher.
 func (t *CNNTeacher) Name() string { return t.name }
 
-// Infer implements Teacher.
+// Infer implements Teacher. The mask is a fresh copy owned by the caller:
+// teacher masks cross goroutine boundaries through the Batcher, so they must
+// never alias the network's reusable inference buffers.
 func (t *CNNTeacher) Infer(f video.Frame) []int32 {
 	mask, _ := t.Net.Infer(f.Image)
-	return mask
+	return append([]int32(nil), mask...)
 }
 
 // InferBatch implements BatchInferrer.
@@ -166,7 +181,9 @@ func (t *CNNTeacher) InferBatch(frames []video.Frame) [][]int32 {
 }
 
 // Logits exposes raw teacher logits, used when distilling with soft targets.
+// The returned tensor is a caller-owned copy (the network's own logits
+// buffer is recycled on its next inference).
 func (t *CNNTeacher) Logits(img *tensor.Tensor) *tensor.Tensor {
 	_, logits := t.Net.Infer(img)
-	return logits
+	return logits.Clone()
 }

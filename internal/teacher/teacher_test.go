@@ -124,3 +124,20 @@ func TestOracleDeterministicPerSeedSequence(t *testing.T) {
 		}
 	}
 }
+
+// Regression: labels arrive raw off the wire, so classes outside
+// [0, NumClasses) must degrade gracefully (passed through, never missed)
+// instead of panicking the shared server teacher.
+func TestOracleToleratesOutOfRangeLabels(t *testing.T) {
+	o := NewOracle(3)
+	o.MissRate = 1 // force the miss-application loop to run
+	img := tensor.New(3, 2, 2)
+	f := video.Frame{Image: img, Label: []int32{1, 99, -4, 1}}
+	out := o.Infer(f)
+	if len(out) != 4 {
+		t.Fatalf("mask length %d", len(out))
+	}
+	if out[1] != 99 || out[2] != -4 {
+		t.Fatalf("out-of-range labels must pass through unmodified: %v", out)
+	}
+}

@@ -32,7 +32,10 @@ func (s ConvSpec) OutSize(h, w int) (oh, ow int) {
 
 // Im2col lowers a CHW input into a matrix of shape [OH*OW, C*KH*KW] so the
 // convolution becomes one matmul against the [C*KH*KW, OC] weight matrix.
-// dst may be nil; the (possibly re-used) matrix is returned.
+// dst may be nil; the (possibly re-used) matrix is returned. Every element
+// of dst is written — padding positions are zeroed explicitly in the lowering
+// loop rather than by clearing the whole buffer up front — so a reused or
+// dirty destination yields output identical to a fresh one.
 func Im2col(x *Tensor, s ConvSpec, dst *Tensor) *Tensor {
 	if x.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: Im2col requires CHW input, got %v", x.Shape()))
@@ -42,54 +45,71 @@ func Im2col(x *Tensor, s ConvSpec, dst *Tensor) *Tensor {
 	cols := c * s.KH * s.KW
 	rows := oh * ow
 	if dst == nil || dst.Len() != rows*cols {
-		dst = New(rows, cols)
-	} else {
+		dst = &Tensor{Data: make([]float32, rows*cols), shape: []int{rows, cols}}
+	} else if len(dst.shape) != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
 		dst = dst.Reshape(rows, cols)
-		dst.Zero()
 	}
-	xd, dd := x.Data, dst.Data
+	dd := dst.Data
 	Parallel(oh, 4, func(lo, hi int) {
 		for oy := lo; oy < hi; oy++ {
-			iy0 := oy*s.SH - s.PH
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*s.SW - s.PW
-				row := (oy*ow + ox) * cols
-				for ch := 0; ch < c; ch++ {
-					base := ch * h * w
-					col := row + ch*s.KH*s.KW
-					for ky := 0; ky < s.KH; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						src := base + iy*w
-						d := col + ky*s.KW
-						for kx := 0; kx < s.KW; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							dd[d+kx] = xd[src+ix]
-						}
+			im2colRow(dd, x, s, oy, ow, cols)
+		}
+	})
+	return dst
+}
+
+// im2colRow lowers one output row oy (all ox positions) into dd, writing
+// every element of the affected dd region including zero padding.
+func im2colRow(dd []float32, x *Tensor, s ConvSpec, oy, ow, cols int) {
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	xd := x.Data
+	iy0 := oy*s.SH - s.PH
+	for ox := 0; ox < ow; ox++ {
+		ix0 := ox*s.SW - s.PW
+		row := (oy*ow + ox) * cols
+		for ch := 0; ch < c; ch++ {
+			base := ch * h * w
+			col := row + ch*s.KH*s.KW
+			for ky := 0; ky < s.KH; ky++ {
+				iy := iy0 + ky
+				d := col + ky*s.KW
+				if iy < 0 || iy >= h {
+					clear(dd[d : d+s.KW])
+					continue
+				}
+				src := base + iy*w
+				for kx := 0; kx < s.KW; kx++ {
+					ix := ix0 + kx
+					if ix < 0 || ix >= w {
+						dd[d+kx] = 0
+					} else {
+						dd[d+kx] = xd[src+ix]
 					}
 				}
 			}
 		}
-	})
-	return dst
+	}
 }
 
 // Col2im scatters a [OH*OW, C*KH*KW] matrix back into a CHW tensor of shape
 // [c,h,w], accumulating overlapping contributions. It is the adjoint of
 // Im2col and is used for input gradients in conv backward.
 func Col2im(cols *Tensor, s ConvSpec, c, h, w int) *Tensor {
+	out := New(c, h, w)
+	Col2imInto(out, cols, s)
+	return out
+}
+
+// Col2imInto scatters cols into dst (shape [c,h,w]), accumulating into dst's
+// existing contents — dst must be zero-filled for a plain adjoint.
+func Col2imInto(dst, cols *Tensor, s ConvSpec) {
+	c, h, w := dst.Dim(0), dst.Dim(1), dst.Dim(2)
 	oh, ow := s.OutSize(h, w)
 	ncol := c * s.KH * s.KW
 	if cols.Len() != oh*ow*ncol {
 		panic(fmt.Sprintf("tensor: Col2im size mismatch: %d elems for out %dx%d, cols %d", cols.Len(), oh, ow, ncol))
 	}
-	out := New(c, h, w)
-	cd, od := cols.Data, out.Data
+	cd, od := cols.Data, dst.Data
 	// Parallelise over channels: each channel's scatter touches a disjoint
 	// region of the output, so no synchronisation is needed.
 	Parallel(c, 1, func(clo, chi int) {
@@ -119,42 +139,56 @@ func Col2im(cols *Tensor, s ConvSpec, c, h, w int) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // Conv2D applies weights w of shape [OC, C, KH, KW] and bias b (len OC, may
-// be nil) to a CHW input, returning [OC, OH, OW]. Implementation: im2col +
-// matmul.
+// be nil) to a CHW input, returning [OC, OH, OW].
 func Conv2D(x, w, b *Tensor, s ConvSpec) *Tensor {
+	return Conv2DWS(nil, x, w, b, s)
+}
+
+// Conv2DWS is Conv2D with every buffer (scratch and result) leased from ws;
+// a nil ws falls back to plain allocation. The im2col lowering, the GEMM
+// against the weight matrix and the [OH*OW,OC]→[OC,OH,OW] transposition are
+// fused into a single Parallel pass over output rows, so each chunk's
+// column block stays cache-resident and one worker dispatch covers the
+// whole convolution.
+func Conv2DWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
 	oc := w.Dim(0)
 	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
 	if w.Dim(1) != c || w.Dim(2) != s.KH || w.Dim(3) != s.KW {
 		panic(fmt.Sprintf("tensor: Conv2D weight %v incompatible with input %v spec %+v", w.Shape(), x.Shape(), s))
 	}
-	oh, ow := s.OutSize(h, wid)
-	cols := Im2col(x, s, nil)          // [OH*OW, C*KH*KW]
-	wmat := w.Reshape(oc, c*s.KH*s.KW) // [OC, CKK]
-	out := MatMulABT(cols, wmat)       // [OH*OW, OC]
-	res := New(oc, oh, ow)             // transpose to [OC, OH, OW]
-	hw := oh * ow
-	for p := 0; p < hw; p++ {
-		row := out.Data[p*oc : (p+1)*oc]
-		for ch := 0; ch < oc; ch++ {
-			res.Data[ch*hw+p] = row[ch]
-		}
+	if b != nil && b.Len() != oc {
+		panic(fmt.Sprintf("tensor: Conv2D bias len %d != out channels %d", b.Len(), oc))
 	}
+	oh, ow := s.OutSize(h, wid)
+	ckk := c * s.KH * s.KW
+	hw := oh * ow
+	colsT := ws.GetDirty(hw, ckk)
+	res := ws.GetDirty(oc, oh, ow)
+	cd, wd, rd := colsT.Data, w.Data, res.Data
+	var bd []float32
 	if b != nil {
-		if b.Len() != oc {
-			panic(fmt.Sprintf("tensor: Conv2D bias len %d != out channels %d", b.Len(), oc))
-		}
-		for ch := 0; ch < oc; ch++ {
-			bias := b.Data[ch]
-			seg := res.Data[ch*hw : (ch+1)*hw]
-			for i := range seg {
-				seg[i] += bias
+		bd = b.Data
+	}
+	Parallel(oh, 2, func(lo, hi int) {
+		for oy := lo; oy < hi; oy++ {
+			im2colRow(cd, x, s, oy, ow, ckk)
+			for ox := 0; ox < ow; ox++ {
+				p := oy*ow + ox
+				crow := cd[p*ckk : (p+1)*ckk]
+				for ch := 0; ch < oc; ch++ {
+					v := sdot(crow, wd[ch*ckk:(ch+1)*ckk])
+					if bd != nil {
+						v += bd[ch]
+					}
+					rd[ch*hw+p] = v
+				}
 			}
 		}
-	}
+	})
+	ws.Put(colsT)
 	return res
 }
 
@@ -163,24 +197,33 @@ func Conv2D(x, w, b *Tensor, s ConvSpec) *Tensor {
 // is false (the partial-distillation path stops input gradients at the
 // frozen boundary, §4.2 of the paper).
 func Conv2DBackward(x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *Tensor) {
+	return Conv2DBackwardWS(nil, x, w, gy, s, needInput)
+}
+
+// Conv2DBackwardWS is Conv2DBackward with scratch and results leased from
+// ws (nil ws allocates). The returned gradients are workspace leases: they
+// stay valid until the workspace resets, which in the autodiff tape's usage
+// outlives the optimizer step that consumes them.
+func Conv2DBackwardWS(ws *Workspace, x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *Tensor) {
 	oc := w.Dim(0)
 	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := s.OutSize(h, wid)
 	hw := oh * ow
+	ckk := c * s.KH * s.KW
 	// gy as matrix [OH*OW, OC]
-	gmat := New(hw, oc)
+	gmat := ws.GetDirty(hw, oc)
 	for ch := 0; ch < oc; ch++ {
 		seg := gy.Data[ch*hw : (ch+1)*hw]
 		for p, v := range seg {
 			gmat.Data[p*oc+ch] = v
 		}
 	}
-	cols := Im2col(x, s, nil) // [OH*OW, CKK]
-	// dW = gyᵀ × cols → [OC, CKK]
-	dwMat := MatMulATB(gmat, cols)
-	dw = dwMat.Reshape(oc, c, s.KH, s.KW)
+	cols := Im2col(x, s, ws.GetDirty(hw, ckk)) // [OH*OW, CKK]
+	// dW = gyᵀ × cols → [OC, CKK], written directly into the 4-D gradient.
+	dw = ws.GetDirty(oc, c, s.KH, s.KW)
+	gemmAxpy(dw.Data, gmat.Data, cols.Data, oc, ckk, hw, 1, oc, false)
 	// db = column sums of gy
-	db = New(oc)
+	db = ws.GetDirty(oc)
 	for ch := 0; ch < oc; ch++ {
 		var sum float32
 		seg := gy.Data[ch*hw : (ch+1)*hw]
@@ -190,18 +233,26 @@ func Conv2DBackward(x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *T
 		db.Data[ch] = sum
 	}
 	if needInput {
-		wmat := w.Reshape(oc, c*s.KH*s.KW)
-		dcols := MatMul(gmat, wmat) // [OH*OW, CKK]
-		dx = Col2im(dcols, s, c, h, wid)
+		// dcols = gy × Wmat → [OH*OW, CKK], then scatter back to CHW.
+		dcols := ws.GetDirty(hw, ckk)
+		gemmAxpy(dcols.Data, gmat.Data, w.Data, hw, ckk, oc, oc, 1, false)
+		dx = ws.Get(c, h, wid)
+		Col2imInto(dx, dcols, s)
+		ws.Put(dcols)
 	}
+	ws.Put(cols)
+	ws.Put(gmat)
 	return dx, dw, db
 }
 
 // UpsampleNearest2x doubles the spatial size of a CHW tensor by
 // nearest-neighbour replication.
-func UpsampleNearest2x(x *Tensor) *Tensor {
+func UpsampleNearest2x(x *Tensor) *Tensor { return UpsampleNearest2xWS(nil, x) }
+
+// UpsampleNearest2xWS is UpsampleNearest2x with the result leased from ws.
+func UpsampleNearest2xWS(ws *Workspace, x *Tensor) *Tensor {
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := New(c, h*2, w*2)
+	out := ws.GetDirty(c, h*2, w*2)
 	Parallel(c, 1, func(lo, hi int) {
 		for ch := lo; ch < hi; ch++ {
 			for y := 0; y < h; y++ {
@@ -221,9 +272,15 @@ func UpsampleNearest2x(x *Tensor) *Tensor {
 // UpsampleNearest2xBackward sums each 2×2 output-gradient block back into
 // the corresponding input cell.
 func UpsampleNearest2xBackward(gy *Tensor) *Tensor {
+	return UpsampleNearest2xBackwardWS(nil, gy)
+}
+
+// UpsampleNearest2xBackwardWS is UpsampleNearest2xBackward with the result
+// leased from ws.
+func UpsampleNearest2xBackwardWS(ws *Workspace, gy *Tensor) *Tensor {
 	c, h2, w2 := gy.Dim(0), gy.Dim(1), gy.Dim(2)
 	h, w := h2/2, w2/2
-	out := New(c, h, w)
+	out := ws.GetDirty(c, h, w)
 	Parallel(c, 1, func(lo, hi int) {
 		for ch := lo; ch < hi; ch++ {
 			for y := 0; y < h; y++ {
@@ -241,10 +298,13 @@ func UpsampleNearest2xBackward(gy *Tensor) *Tensor {
 
 // AvgPool2x2 halves the spatial size of a CHW tensor by 2×2 mean pooling.
 // Odd trailing rows/columns are dropped.
-func AvgPool2x2(x *Tensor) *Tensor {
+func AvgPool2x2(x *Tensor) *Tensor { return AvgPool2x2WS(nil, x) }
+
+// AvgPool2x2WS is AvgPool2x2 with the result leased from ws.
+func AvgPool2x2WS(ws *Workspace, x *Tensor) *Tensor {
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := h/2, w/2
-	out := New(c, oh, ow)
+	out := ws.GetDirty(c, oh, ow)
 	Parallel(c, 1, func(lo, hi int) {
 		for ch := lo; ch < hi; ch++ {
 			for y := 0; y < oh; y++ {
@@ -262,7 +322,10 @@ func AvgPool2x2(x *Tensor) *Tensor {
 
 // Concat stacks CHW tensors along the channel axis. All inputs must share
 // spatial dimensions.
-func Concat(xs ...*Tensor) *Tensor {
+func Concat(xs ...*Tensor) *Tensor { return ConcatWS(nil, xs...) }
+
+// ConcatWS is Concat with the result leased from ws.
+func ConcatWS(ws *Workspace, xs ...*Tensor) *Tensor {
 	if len(xs) == 0 {
 		panic("tensor: Concat of zero tensors")
 	}
@@ -274,7 +337,7 @@ func Concat(xs ...*Tensor) *Tensor {
 		}
 		total += x.Dim(0)
 	}
-	out := New(total, h, w)
+	out := ws.GetDirty(total, h, w)
 	off := 0
 	for _, x := range xs {
 		copy(out.Data[off:], x.Data)
@@ -286,11 +349,16 @@ func Concat(xs ...*Tensor) *Tensor {
 // SplitChannels splits the gradient of a Concat back into per-input pieces
 // with the given channel counts.
 func SplitChannels(g *Tensor, chans []int) []*Tensor {
+	return SplitChannelsWS(nil, g, chans)
+}
+
+// SplitChannelsWS is SplitChannels with each piece leased from ws.
+func SplitChannelsWS(ws *Workspace, g *Tensor, chans []int) []*Tensor {
 	h, w := g.Dim(1), g.Dim(2)
 	outs := make([]*Tensor, len(chans))
 	off := 0
 	for i, c := range chans {
-		t := New(c, h, w)
+		t := ws.GetDirty(c, h, w)
 		copy(t.Data, g.Data[off:off+t.Len()])
 		outs[i] = t
 		off += t.Len()

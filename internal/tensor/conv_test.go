@@ -253,3 +253,52 @@ func dot(a, b *Tensor) float64 {
 	}
 	return s
 }
+
+// TestIm2colReusedDestinationMatchesFresh: Im2col historically zeroed the
+// whole reuse destination before lowering; it now writes zero padding
+// explicitly instead, so a reused (dirty) destination must produce output
+// bitwise identical to a fresh one — across padded, strided and asymmetric
+// kernels, where the padding regions differ.
+func TestIm2colReusedDestinationMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	specs := []ConvSpec{
+		Spec(3, 3),
+		Spec(3, 3).WithStride(2),
+		Spec(3, 1),
+		Spec(1, 3),
+		Spec(1, 1),
+		{KH: 3, KW: 3, SH: 2, SW: 1, PH: 2, PW: 0}, // extra padding rows
+	}
+	for _, s := range specs {
+		x := randTensor(rng, 3, 12, 10)
+		fresh := Im2col(x, s, nil)
+
+		// Poison a correctly-sized reuse buffer, then lower into it.
+		dirty := New(fresh.Dim(0), fresh.Dim(1))
+		dirty.Fill(-123.5)
+		reused := Im2col(x, s, dirty)
+		if reused != dirty {
+			t.Fatalf("spec %+v: Im2col did not reuse the destination", s)
+		}
+		for i := range fresh.Data {
+			if fresh.Data[i] != reused.Data[i] {
+				t.Fatalf("spec %+v: reused dst differs from fresh at %d: %v vs %v",
+					s, i, reused.Data[i], fresh.Data[i])
+			}
+		}
+
+		// A workspace GetDirty destination (arbitrary stale contents) must
+		// behave the same.
+		ws := NewWorkspaceOn(NewPool())
+		poison := ws.GetDirty(fresh.Dim(0), fresh.Dim(1))
+		poison.Fill(77)
+		ws.Reset()
+		leased := ws.GetDirty(fresh.Dim(0), fresh.Dim(1))
+		got := Im2col(x, s, leased)
+		for i := range fresh.Data {
+			if fresh.Data[i] != got.Data[i] {
+				t.Fatalf("spec %+v: workspace dst differs from fresh at %d", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tensor
+
+// Blocked GEMM kernels. All three matmul variants (NN: a×b, TN: aᵀ×b,
+// NT: a×bᵀ) are lowered onto two shared micro-kernels — saxpy rows for the
+// NN/TN forms and sdot rows for the NT form — with cache blocking along the
+// reduction (k) dimension for the axpy forms and along the b-row (j)
+// dimension for the dot form. Row chunks are distributed by Parallel.
+//
+// Bit-consistency invariant: for every output element, partial products are
+// accumulated in ascending-p order into a single float32 accumulator, with
+// the same zero-skip convention as the pre-blocking kernels. Blocking only
+// reorders *which element* is updated next, never the accumulation order
+// within an element, so results are bitwise identical to the naive
+// triple-loop for any block size and any worker count (gemm_test.go checks
+// this against an unblocked reference on randomized shapes).
+const (
+	// gemmKC bounds the reduction-panel height: kc rows of b (kc*n floats)
+	// are streamed repeatedly while they are hot in cache instead of
+	// re-reading all k rows per output row.
+	gemmKC = 256
+	// gemmJB bounds the b-row tile of the NT (dot) kernel: jb rows of b
+	// (jb*k floats) are reused across every output row of a chunk.
+	gemmJB = 64
+	// gemmRowGrain is the minimum rows per Parallel chunk.
+	gemmRowGrain = 8
+)
+
+// saxpy computes dst[j] += a*x[j]. Single accumulator per element, ascending
+// j; the compiler keeps this free of bounds checks via the len hint.
+func saxpy(dst []float32, a float32, x []float32) {
+	dst = dst[:len(x)]
+	for j, v := range x {
+		dst[j] += a * v
+	}
+}
+
+// sdot returns Σ a[p]*b[p] accumulated in ascending-p order.
+func sdot(a, b []float32) float32 {
+	b = b[:len(a)]
+	var s float32
+	for p, v := range a {
+		s += v * b[p]
+	}
+	return s
+}
+
+// gemmAxpy computes dst[m,n] (+)= opA(a)×b, where opA is selected by the
+// row/column strides of a: (ars, acs) = (k, 1) reads a as [m,k] (NN form),
+// (1, m) reads a as [k,m] and multiplies by its transpose (TN form). b is
+// [k,n] row-major. Zero a-elements are skipped, matching the historical
+// kernels (im2col matrices are zero-heavy at the padding border).
+func gemmAxpy(cd, ad, bd []float32, m, n, k, ars, acs int, accumulate bool) {
+	Parallel(m, gemmRowGrain, func(lo, hi int) {
+		if !accumulate && k == 0 {
+			// The kb loop (which clears each row at its first panel) never
+			// runs for an empty reduction, but dst = a×b is still all zeros.
+			clear(cd[lo*n : hi*n])
+			return
+		}
+		for kb := 0; kb < k; kb += gemmKC {
+			ke := kb + gemmKC
+			if ke > k {
+				ke = k
+			}
+			for i := lo; i < hi; i++ {
+				crow := cd[i*n : (i+1)*n]
+				if kb == 0 && !accumulate {
+					clear(crow)
+				}
+				for p := kb; p < ke; p++ {
+					av := ad[i*ars+p*acs]
+					if av == 0 {
+						continue
+					}
+					saxpy(crow, av, bd[p*n:(p+1)*n])
+				}
+			}
+		}
+	})
+}
+
+// gemmDot computes dst[m,n] = a×bᵀ for a [m,k], b [n,k], tiling the rows of
+// b so each jb-row panel stays cache-resident across a whole row chunk.
+func gemmDot(cd, ad, bd []float32, m, n, k int) {
+	Parallel(m, gemmRowGrain, func(lo, hi int) {
+		for jb := 0; jb < n; jb += gemmJB {
+			je := jb + gemmJB
+			if je > n {
+				je = n
+			}
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				crow := cd[i*n : (i+1)*n]
+				for j := jb; j < je; j++ {
+					crow[j] = sdot(arow, bd[j*k:(j+1)*k])
+				}
+			}
+		}
+	})
+}

@@ -7,11 +7,8 @@ import (
 
 // Add returns a + b elementwise. Shapes must match.
 func Add(a, b *Tensor) *Tensor {
-	checkSame("Add", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	AddInto(out, a, b)
 	return out
 }
 
@@ -26,31 +23,49 @@ func AddInto(dst, a, b *Tensor) {
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
-	checkSame("Sub", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
+	SubInto(out, a, b)
 	return out
+}
+
+// SubInto writes a - b into dst (which may alias a or b).
+func SubInto(dst, a, b *Tensor) {
+	checkSame("SubInto", a, b)
+	checkSame("SubInto dst", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
 }
 
 // Mul returns the elementwise (Hadamard) product a * b.
 func Mul(a, b *Tensor) *Tensor {
-	checkSame("Mul", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	MulInto(out, a, b)
 	return out
+}
+
+// MulInto writes a * b elementwise into dst (which may alias a or b).
+func MulInto(dst, a, b *Tensor) {
+	checkSame("MulInto", a, b)
+	checkSame("MulInto dst", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
 }
 
 // Scale returns a * s elementwise.
 func Scale(a *Tensor, s float32) *Tensor {
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * s
-	}
+	ScaleInto(out, a, s)
 	return out
+}
+
+// ScaleInto writes a * s into dst (which may alias a).
+func ScaleInto(dst, a *Tensor, s float32) {
+	checkSame("ScaleInto", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] * s
+	}
 }
 
 // AxpyInto computes dst += alpha * x, the BLAS axpy primitive.
@@ -64,25 +79,41 @@ func AxpyInto(dst *Tensor, alpha float32, x *Tensor) {
 // ReLU returns max(a, 0) elementwise.
 func ReLU(a *Tensor) *Tensor {
 	out := New(a.shape...)
+	ReLUInto(out, a)
+	return out
+}
+
+// ReLUInto writes max(a, 0) into dst (which may alias a).
+func ReLUInto(dst, a *Tensor) {
+	checkSame("ReLUInto", dst, a)
 	for i, v := range a.Data {
 		if v > 0 {
-			out.Data[i] = v
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
 		}
 	}
-	return out
 }
 
 // ReLUGrad returns grad masked by the positive entries of forward input x:
 // dx[i] = grad[i] if x[i] > 0 else 0.
 func ReLUGrad(x, grad *Tensor) *Tensor {
-	checkSame("ReLUGrad", x, grad)
 	out := New(x.shape...)
+	ReLUGradInto(out, x, grad)
+	return out
+}
+
+// ReLUGradInto writes the masked gradient into dst (which may alias grad).
+func ReLUGradInto(dst, x, grad *Tensor) {
+	checkSame("ReLUGradInto", x, grad)
+	checkSame("ReLUGradInto dst", dst, x)
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = grad.Data[i]
+			dst.Data[i] = grad.Data[i]
+		} else {
+			dst.Data[i] = 0
 		}
 	}
-	return out
 }
 
 // Sigmoid returns 1/(1+exp(-a)) elementwise.
@@ -94,9 +125,8 @@ func Sigmoid(a *Tensor) *Tensor {
 	return out
 }
 
-// MatMul multiplies a [m,k] by b [k,n] into a new [m,n] tensor. The inner
-// loops are ikj-ordered for cache locality and the row dimension is
-// parallelised.
+// MatMul multiplies a [m,k] by b [k,n] into a new [m,n] tensor via the
+// blocked kernel.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got %v × %v", a.shape, b.shape))
@@ -107,7 +137,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v × %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	MatMulInto(out, a, b, false)
+	gemmAxpy(out.Data, a.Data, b.Data, m, n, k, k, 1, true)
 	return out
 }
 
@@ -118,80 +148,43 @@ func MatMulInto(dst, a, b *Tensor, accumulate bool) {
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst %v = %v × %v", dst.shape, a.shape, b.shape))
 	}
-	if !accumulate {
-		dst.Zero()
-	}
-	ad, bd, cd := a.Data, b.Data, dst.Data
-	Parallel(m, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			crow := cd[i*n : (i+1)*n]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	})
+	gemmAxpy(dst.Data, a.Data, b.Data, m, n, k, k, 1, accumulate)
 }
 
 // MatMulATB computes aᵀ×b for a [k,m], b [k,n] → [m,n]. Used by conv
 // backward for weight gradients.
 func MatMulATB(a, b *Tensor) *Tensor {
+	out := New(a.shape[1], b.shape[1])
+	MatMulATBInto(out, a, b, true)
+	return out
+}
+
+// MatMulATBInto computes dst = aᵀ×b, or dst += aᵀ×b when accumulate is true.
+func MatMulATBInto(dst, a, b *Tensor, accumulate bool) {
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulATB inner dim mismatch %v × %v", a.shape, b.shape))
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulATBInto shape mismatch dst %v = %vᵀ × %v", dst.shape, a.shape, b.shape))
 	}
-	out := New(m, n)
-	ad, bd, cd := a.Data, b.Data, out.Data
-	Parallel(m, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := cd[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := ad[p*m+i]
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
+	gemmAxpy(dst.Data, a.Data, b.Data, m, n, k, 1, m, accumulate)
 }
 
 // MatMulABT computes a×bᵀ for a [m,k], b [n,k] → [m,n]. Used by conv
 // backward for input gradients.
 func MatMulABT(a, b *Tensor) *Tensor {
+	out := New(a.shape[0], b.shape[0])
+	MatMulABTInto(out, a, b)
+	return out
+}
+
+// MatMulABTInto computes dst = a×bᵀ.
+func MatMulABTInto(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulABT inner dim mismatch %v × %v", a.shape, b.shape))
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulABTInto shape mismatch dst %v = %v × %vᵀ", dst.shape, a.shape, b.shape))
 	}
-	out := New(m, n)
-	ad, bd, cd := a.Data, b.Data, out.Data
-	Parallel(m, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			crow := cd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				crow[j] = s
-			}
-		}
-	})
-	return out
+	gemmDot(dst.Data, a.Data, b.Data, m, n, k)
 }
 
 // Transpose returns the [n,m] transpose of a rank-2 [m,n] tensor.

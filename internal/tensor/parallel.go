@@ -3,6 +3,7 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers caps the number of goroutines used by Parallel. It defaults to
@@ -32,10 +33,68 @@ func Workers() int {
 	return maxWorkers
 }
 
-// Parallel splits [0, n) into contiguous chunks and runs fn(lo, hi) on each
-// from its own goroutine. It is the single parallel-for used by every hot
-// kernel so that nesting never oversubscribes: fn must not call Parallel.
-// Small ranges (n < grain*2) run inline on the calling goroutine.
+// parJob is one Parallel invocation, shared between the calling goroutine
+// and any pool workers that pick it up. Chunks are claimed with an atomic
+// counter so load balances even when chunk costs differ.
+type parJob struct {
+	fn     func(lo, hi int)
+	n      int
+	size   int
+	chunks int
+	next   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// run claims and executes chunks until none remain.
+func (j *parJob) run() {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.chunks {
+			return
+		}
+		lo := i * j.size
+		hi := lo + j.size
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		j.wg.Done()
+	}
+}
+
+// The worker pool is started lazily on the first Parallel call: GOMAXPROCS-1
+// persistent goroutines blocked on a job channel. Reusing workers instead of
+// spawning goroutines per call keeps the steady-state allocation cost of a
+// Parallel invocation at ~2 small objects (the job and the fn closure),
+// which the hot-path allocation budgets in alloc_test.go depend on.
+var (
+	poolOnce sync.Once
+	poolSize int
+	poolJobs chan *parJob
+)
+
+func startWorkerPool() {
+	poolSize = runtime.GOMAXPROCS(0) - 1
+	if poolSize <= 0 {
+		return
+	}
+	poolJobs = make(chan *parJob, 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for j := range poolJobs {
+				j.run()
+			}
+		}()
+	}
+}
+
+// Parallel splits [0, n) into contiguous chunks and runs fn(lo, hi) on each,
+// spreading chunks across a persistent worker pool while the calling
+// goroutine participates too. It is the single parallel-for used by every
+// hot kernel so that nesting never oversubscribes: fn must not call
+// Parallel. Chunk boundaries never split a float accumulation, so results
+// are bitwise identical for every worker count. Small ranges (n < grain*2)
+// run inline on the calling goroutine.
 func Parallel(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -43,7 +102,11 @@ func Parallel(n, grain int, fn func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
+	poolOnce.Do(startWorkerPool)
 	w := Workers()
+	if w > poolSize+1 {
+		w = poolSize + 1
+	}
 	if w <= 1 || n < grain*2 {
 		fn(0, n)
 		return
@@ -53,17 +116,22 @@ func Parallel(n, grain int, fn func(lo, hi int)) {
 		chunks = w
 	}
 	size := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+	chunks = (n + size - 1) / size
+	if chunks <= 1 {
+		fn(0, n)
+		return
 	}
-	wg.Wait()
+	j := &parJob{fn: fn, n: n, size: size, chunks: chunks}
+	j.wg.Add(chunks)
+	// Offer the job to up to chunks-1 idle workers; if the queue is full the
+	// caller simply executes more chunks itself, so no send ever blocks.
+	for i := 1; i < chunks; i++ {
+		select {
+		case poolJobs <- j:
+		default:
+			i = chunks // queue saturated; stop offering
+		}
+	}
+	j.run()
+	j.wg.Wait()
 }

@@ -1,0 +1,6 @@
+//go:build race
+
+package tensor
+
+// raceEnabled mirrors race_off_test.go for race-detector builds.
+const raceEnabled = true

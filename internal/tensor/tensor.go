@@ -44,11 +44,14 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 }
 
 // NumElems returns the product of the dimensions in shape.
+// The panic message deliberately avoids formatting the shape slice itself:
+// referencing it from fmt would force every variadic shape argument on the
+// hot lease path onto the heap.
 func NumElems(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape", d))
 		}
 		n *= d
 	}

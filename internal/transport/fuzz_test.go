@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Fuzz targets for the wire protocol: every decoder must survive arbitrary
+// bytes without panicking or over-allocating, and every value that decodes
+// successfully must re-encode/re-decode to the same value (round-trip
+// stability). CI runs each target as a short -fuzz smoke on top of the seed
+// corpus below; `go test` alone replays the seeds as regular tests.
+
+func seedKeyFrame() KeyFrame {
+	img := tensor.New(3, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = float32(i) / 7
+	}
+	return KeyFrame{FrameIndex: 7, Image: img, Label: []int32{0, 1, 2, 3}}
+}
+
+func FuzzDecodeKeyFrame(f *testing.F) {
+	f.Add(EncodeKeyFrame(seedKeyFrame()))
+	kf := seedKeyFrame()
+	kf.Label = nil
+	f.Add(EncodeKeyFrame(kf))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 4, 255, 255, 0, 0}) // implausible dims
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := DecodeKeyFrame(data)
+		if err != nil {
+			return
+		}
+		re := EncodeKeyFrame(k)
+		k2, err := DecodeKeyFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded keyframe failed: %v", err)
+		}
+		if k2.FrameIndex != k.FrameIndex || !k2.Image.SameShape(k.Image) || len(k2.Label) != len(k.Label) {
+			t.Fatalf("keyframe round trip mismatch: %v vs %v", k2, k)
+		}
+		for i := range k.Image.Data {
+			if k2.Image.Data[i] != k.Image.Data[i] && !(isNaN32(k2.Image.Data[i]) && isNaN32(k.Image.Data[i])) {
+				t.Fatalf("keyframe image diverged at %d", i)
+			}
+		}
+		for i := range k.Label {
+			if k2.Label[i] != k.Label[i] {
+				t.Fatalf("keyframe label diverged at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(EncodeHello(Hello{Version: Version, NumClass: 9, FrameW: 96, FrameH: 64, Partial: true, SessionID: 12}))
+	f.Add(EncodeHello(Hello{Version: 1, NumClass: 4, FrameW: 16, FrameH: 16})[:9]) // v1 payload without session id
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHello(data)
+		if err != nil {
+			return
+		}
+		h2, err := DecodeHello(EncodeHello(h))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded hello failed: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("hello round trip mismatch: %+v vs %+v", h2, h)
+		}
+	})
+}
+
+func FuzzDecodePrediction(f *testing.F) {
+	f.Add(EncodePrediction(Prediction{FrameIndex: 3, Mask: []int32{1, 2, 3, 0}}))
+	f.Add(EncodePrediction(Prediction{FrameIndex: 0, Mask: nil}))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePrediction(data)
+		if err != nil {
+			return
+		}
+		p2, err := DecodePrediction(EncodePrediction(p))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded prediction failed: %v", err)
+		}
+		if p2.FrameIndex != p.FrameIndex || len(p2.Mask) != len(p.Mask) {
+			t.Fatalf("prediction round trip mismatch")
+		}
+		for i := range p.Mask {
+			if p2.Mask[i] != p.Mask[i] {
+				t.Fatalf("prediction mask diverged at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeStudentDiff(f *testing.F) {
+	w := tensor.New(2, 3)
+	for i := range w.Data {
+		w.Data[i] = float32(i)
+	}
+	body, err := EncodeStudentDiff(StudentDiff{FrameIndex: 5, Metric: 0.75,
+		Params: []*nn.Parameter{{Name: "out3.w", Value: w}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(body)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeStudentDiff(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeStudentDiff(d)
+		if err != nil {
+			t.Fatalf("re-encode of decoded diff failed: %v", err)
+		}
+		d2, err := DecodeStudentDiff(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded diff failed: %v", err)
+		}
+		if d2.FrameIndex != d.FrameIndex || len(d2.Params) != len(d.Params) {
+			t.Fatalf("diff round trip mismatch")
+		}
+		if d2.Metric != d.Metric && !(math.IsNaN(d2.Metric) && math.IsNaN(d.Metric)) {
+			t.Fatalf("diff metric diverged: %v vs %v", d2.Metric, d.Metric)
+		}
+		for i, p := range d.Params {
+			q := d2.Params[i]
+			if q.Name != p.Name || !q.Value.SameShape(p.Value) {
+				t.Fatalf("diff param %d metadata diverged", i)
+			}
+		}
+	})
+}
+
+func FuzzMessageRoundTrip(f *testing.F) {
+	f.Add(uint8(MsgKeyFrame), EncodeKeyFrame(seedKeyFrame()))
+	f.Add(uint8(MsgShutdown), []byte{})
+	f.Add(uint8(MsgHello), EncodeHello(Hello{Version: Version}))
+	f.Fuzz(func(t *testing.T, typ uint8, body []byte) {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, Message{Type: MsgType(typ), Body: body}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		m, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read of just-written message failed: %v", err)
+		}
+		if m.Type != MsgType(typ) || !bytes.Equal(m.Body, body) {
+			t.Fatalf("message round trip mismatch")
+		}
+	})
+}
+
+func isNaN32(v float32) bool { return v != v }

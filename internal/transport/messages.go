@@ -183,6 +183,7 @@ func DecodeKeyFrame(b []byte) (KeyFrame, error) {
 		return k, fmt.Errorf("transport: keyframe implausible rank %d", rank)
 	}
 	shape := make([]int, rank)
+	elems := int64(1)
 	for i := range shape {
 		var d int32
 		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
@@ -192,6 +193,17 @@ func DecodeKeyFrame(b []byte) (KeyFrame, error) {
 			return k, fmt.Errorf("transport: keyframe implausible dim %d", d)
 		}
 		shape[i] = int(d)
+		// int64 with a check after every multiply keeps the running product
+		// ≤ 2^42 (MaxBody/4 × 2^16) — no overflow, even on 32-bit builds.
+		elems *= int64(d)
+		if elems > MaxBody/4 {
+			return k, fmt.Errorf("transport: keyframe tensor of %d elems exceeds frame limit", elems)
+		}
+	}
+	// Never allocate more than the frame actually carries: a corrupt header
+	// must not force a giant allocation before the read fails.
+	if 4*elems > int64(r.Len()) {
+		return k, fmt.Errorf("transport: keyframe claims %d tensor bytes, only %d remain", 4*elems, r.Len())
 	}
 	t := tensor.New(shape...)
 	if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
@@ -204,6 +216,9 @@ func DecodeKeyFrame(b []byte) (KeyFrame, error) {
 	}
 	if labelLen > 1<<26 {
 		return k, fmt.Errorf("transport: implausible label size %d", labelLen)
+	}
+	if int64(labelLen)*4 > int64(r.Len()) {
+		return k, fmt.Errorf("transport: keyframe claims %d label bytes, only %d remain", labelLen*4, r.Len())
 	}
 	if labelLen > 0 {
 		k.Label = make([]int32, labelLen)
@@ -267,6 +282,9 @@ func DecodePrediction(b []byte) (Prediction, error) {
 	}
 	if n > 1<<26 {
 		return p, fmt.Errorf("transport: implausible mask size %d", n)
+	}
+	if int64(n)*4 > int64(r.Len()) {
+		return p, fmt.Errorf("transport: prediction claims %d mask bytes, only %d remain", n*4, r.Len())
 	}
 	p.Mask = make([]int32, n)
 	if err := binary.Read(r, binary.LittleEndian, p.Mask); err != nil {
