@@ -14,9 +14,11 @@ import (
 // Allocation budgets for the two hot paths, enforced with
 // testing.AllocsPerRun so the workspace-pool + blocked-GEMM win of PR 2
 // cannot silently regress. Budgets are measured steady-state counts plus
-// ~50% headroom; the pre-PR baselines (recorded in BENCH_pr2.json) were
+// ~50% headroom; the pre-PR baselines (measured at commit 58389fb) were
 // 1062 allocs per student inference and 3931/4990 per partial/full distill
-// step, so each budget enforces well over the required 10× reduction.
+// step, so each budget enforces well over the required 10× reduction. CI
+// additionally gates distill_allocs_per_step through the scenario harness
+// (alloc/distill-step vs ci/bench_baseline.json).
 //
 // The remaining steady-state allocations are the per-Parallel-invocation
 // job + closure pair and the per-op backward closures of the training tape;

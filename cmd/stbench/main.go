@@ -1,8 +1,9 @@
 // Command stbench regenerates every table and figure of the ShadowTutor
-// paper's evaluation section (§6) from this reproduction. By default it
-// runs the full 5000-frame protocol per stream, which takes a while on pure
-// Go; -frames trades fidelity for speed (shapes are stable from a few
-// hundred frames).
+// paper's evaluation section (§6) from this reproduction, and drives the
+// declarative scenario harness (internal/harness). By default it runs the
+// full 5000-frame protocol per stream, which takes a while on pure Go;
+// -frames trades fidelity for speed (shapes are stable from a few hundred
+// frames).
 //
 // Usage:
 //
@@ -12,6 +13,17 @@
 //	stbench -figure 4        # the bandwidth sweep
 //	stbench -bounds          # §4.4/§5.3 analytic bound report
 //	stbench -multiclient 16  # multi-session scaling: 1 vs N concurrent clients
+//
+// Scenario harness:
+//
+//	stbench -list                                        # registered scenarios
+//	stbench -scenario bandwidth-sweep/8mbps-c1-raw       # one scenario
+//	stbench -scenario 'bandwidth-sweep/*' -json out.json # a family + metrics JSON
+//	stbench -scenario 'bandwidth-sweep/*,alloc/*'        # several patterns
+//
+// The scenario path honours -frames, -eval-every and -seed as overrides;
+// -json writes the versioned machine-readable BenchFile that cmd/benchdiff
+// gates CI with.
 package main
 
 import (
@@ -19,9 +31,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
@@ -38,11 +53,41 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "run the DESIGN.md ablation suite instead of the paper tables")
 		multi      = flag.Int("multiclient", 0, "run the multi-session scaling scenario with this many concurrent clients (compared against 1)")
 		pretrain   = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
+		list       = flag.Bool("list", false, "list registered harness scenarios and exit")
+		scenario   = flag.String("scenario", "", "run registered scenarios matching this comma-separated list of names/globs (e.g. 'bandwidth-sweep/*')")
+		jsonOut    = flag.String("json", "", "with -scenario: write machine-readable metrics JSON to this path")
 	)
 	flag.Parse()
 
 	if *pretrain > 0 {
 		os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", fmt.Sprint(*pretrain))
+	}
+	if *list {
+		listScenarios()
+		return
+	}
+	if *scenario != "" {
+		// Overrides apply only when the flag was given: scenarios carry
+		// their own (smoke-sized) frame defaults.
+		var ov harness.Overrides
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "frames":
+				ov.Frames = *frames
+			case "eval-every":
+				ov.EvalEvery = *evalEvery
+			case "seed":
+				// Zero is the harness's unset sentinel at every layer
+				// (Overrides and Spec defaults), so it cannot be pinned —
+				// fail loudly rather than silently running seed 11.
+				if *seed == 0 {
+					log.Fatal("-seed 0 is reserved (scenario specs treat 0 as \"use default\"); pick a nonzero seed")
+				}
+				ov.Seed = *seed
+			}
+		})
+		runScenarios(*scenario, *jsonOut, ov)
+		return
 	}
 	if *boundsOnly {
 		fmt.Println(experiments.BoundsReport())
@@ -109,4 +154,115 @@ func main() {
 		fmt.Println(out)
 	}
 	log.Printf("done in %v", time.Since(start).Round(time.Second))
+}
+
+func listScenarios() {
+	t := stats.NewTable("Registered scenarios (run with -scenario <name|glob>)",
+		"Name", "Clients", "Frames", "Bandwidth", "Codec", "Description")
+	for _, s := range harness.All() {
+		spec := s.Spec
+		clients, frames := "-", "-"
+		if s.Run == nil {
+			// Driver scenarios run with every default resolved; custom
+			// runners only display the knobs they explicitly set.
+			spec = spec.WithDefaults()
+		}
+		if spec.Clients > 0 {
+			clients = fmt.Sprint(spec.Clients)
+		}
+		if spec.Frames > 0 {
+			frames = fmt.Sprint(spec.Frames)
+		}
+		t.AddRow(s.Name, clients, frames, spec.BandwidthLabel(), spec.CodecLabel(), s.Desc)
+	}
+	fmt.Println(t)
+}
+
+// resolve expands a comma-separated pattern list into a deduplicated,
+// registration-ordered scenario selection.
+func resolve(patterns string) ([]harness.Scenario, error) {
+	seen := map[string]bool{}
+	var out []harness.Scenario
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		matched, err := harness.Match(pat)
+		if err != nil {
+			return nil, err
+		}
+		if len(matched) == 0 {
+			return nil, fmt.Errorf("no scenario matches %q (try -list)", pat)
+		}
+		for _, s := range matched {
+			if !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+func runScenarios(patterns, jsonPath string, ov harness.Overrides) {
+	scs, err := resolve(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	var results []harness.Metrics
+	for _, s := range scs {
+		log.Printf("running %s …", s.Name)
+		ms, err := harness.RunScenario(s, ov)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		results = append(results, ms...)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Scenario metrics (%d rows)", len(results)),
+		"Scenario", "FPS", "p50 ms", "p99 ms", "KF %", "mIoU", "Up HD-MB", "Down HD-MB", "Batch", "Allocs/step", "Extra")
+	for _, m := range results {
+		t.AddRow(m.Scenario,
+			fmtF(m.AggregateFPS), fmtF(m.LatencyP50MS), fmtF(m.LatencyP99MS),
+			fmtF(m.KeyFrameRate*100), fmtF(m.MeanIoU*100),
+			fmtF(m.BytesUpHDMB), fmtF(m.BytesDownHDMB),
+			fmtF(m.TeacherMeanBatch), fmtF(m.DistillAllocsPerStep),
+			fmtExtra(m.Extra))
+	}
+	fmt.Println(t)
+
+	if jsonPath != "" {
+		if err := harness.WriteFile(jsonPath, results); err != nil {
+			log.Fatalf("writing %s: %v", jsonPath, err)
+		}
+		log.Printf("wrote %d scenario results to %s", len(results), jsonPath)
+	}
+	log.Printf("scenarios done in %v", time.Since(start).Round(time.Second))
+}
+
+func fmtF(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// fmtExtra renders family-specific metrics (the only data the folded
+// ablation/compression scenarios produce) as sorted key=value pairs.
+func fmtExtra(extra map[string]float64) string {
+	if len(extra) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%.4g", k, extra[k])
+	}
+	return strings.Join(parts, " ")
 }

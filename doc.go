@@ -30,4 +30,21 @@
 //
 //	go run ./cmd/stbench -frames 600
 //	go run ./cmd/stbench -frames 200 -multiclient 16
+//
+// # Scenario harness
+//
+// internal/harness holds the declarative scenario matrix: named
+// combinations of bandwidth profile (fixed or a time-varying trace),
+// client count, diff-compression codec and video workload, each run end to
+// end over a loopback multi-session server and measured into a versioned
+// JSON schema. List and run them through stbench:
+//
+//	go run ./cmd/stbench -list
+//	go run ./cmd/stbench -scenario bandwidth-sweep/8mbps-c1-raw
+//	go run ./cmd/stbench -scenario 'bandwidth-sweep/*' -json BENCH_pr3.json
+//
+// cmd/benchdiff compares two such JSON files under per-metric tolerances
+// and exits nonzero on regression — the CI perf gate:
+//
+//	go run ./cmd/benchdiff ci/bench_baseline.json BENCH_pr3.json
 package repro

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -126,6 +127,27 @@ func (Int8) Decode(r io.Reader) ([]*nn.Parameter, error) {
 		params = append(params, &nn.Parameter{Name: name, Value: t})
 	}
 	return params, nil
+}
+
+// ByName resolves a codec from a scenario-friendly name: "raw" (or empty),
+// "int8", or "pruneNN" — magnitude pruning keeping NN percent of entries
+// per tensor, e.g. "prune25".
+func ByName(name string) (Codec, bool) {
+	switch {
+	case name == "" || name == "raw":
+		return Raw{}, true
+	case name == "int8":
+		return Int8{}, true
+	case len(name) > len("prune") && name[:len("prune")] == "prune":
+		// strconv.Atoi consumes the whole suffix, so trailing garbage
+		// ("prune25x") fails instead of silently resolving a codec.
+		pct, err := strconv.Atoi(name[len("prune"):])
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, false
+		}
+		return Pruned{KeepFraction: float64(pct) / 100}, true
+	}
+	return nil, false
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,13 @@ type Client struct {
 	// (§6.3's protocol is 1, the default; higher values cut eval cost in
 	// throughput-oriented runs).
 	EvalEvery int
+	// DecodeDiff, when non-nil, replaces transport.DecodeStudentDiff for
+	// incoming updates — the hook a codec-aware harness uses to decompress
+	// diffs the server encoded with a matching Server.EncodeDiff.
+	DecodeDiff func([]byte) (transport.StudentDiff, error)
+	// TrackLatency records per-frame wall time into Result.FrameLatencies
+	// (one entry per processed frame), feeding p50/p99 latency metrics.
+	TrackLatency bool
 
 	// Stats populated by Run.
 	Result ClientResult
@@ -49,6 +56,10 @@ type ClientResult struct {
 	MeanIoU     float64
 	EvalFrames  int
 	StrideTrace []float64
+	// FrameLatencies holds per-frame wall times when TrackLatency is set:
+	// everything one loop iteration pays (key-frame send, inference, eval,
+	// opportunistic update application).
+	FrameLatencies []time.Duration
 }
 
 // asyncRecv is the handle returned by the non-blocking receive
@@ -125,7 +136,11 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 				recvDone <- nil
 				return
 			}
-			d, err := transport.DecodeStudentDiff(m.Body)
+			decode := transport.DecodeStudentDiff
+			if c.DecodeDiff != nil {
+				decode = c.DecodeDiff
+			}
+			d, err := decode(m.Body)
 			if err != nil {
 				h.err <- err
 				recvDone <- nil
@@ -174,6 +189,10 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 	}
 
 	for i := 0; i < n; i++ {
+		var frameStart time.Time
+		if c.TrackLatency {
+			frameStart = time.Now()
+		}
 		frame := src.Next()
 		if step >= int(stride+0.5) { // key frame
 			c.Result.KeyFrames++
@@ -202,6 +221,9 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 			if err := tryApply(step == c.Cfg.MinStride); err != nil {
 				return err
 			}
+		}
+		if c.TrackLatency {
+			c.Result.FrameLatencies = append(c.Result.FrameLatencies, time.Since(frameStart))
 		}
 	}
 	// Drain any outstanding update so the receiver goroutine can exit.

@@ -85,6 +85,44 @@ func TestServerRejectsBadHandshake(t *testing.T) {
 	}
 }
 
+// A key frame whose oracle side-channel carries out-of-range classes (or a
+// wrong-sized mask) must fail that session with a protocol error — not
+// panic the confusion-matrix/loss indexing and take the whole multi-session
+// process down with it.
+func TestServerRejectsMalformedLabel(t *testing.T) {
+	frame := collect(t, 77, 1)[0]
+	pixels := frame.Image.Dim(1) * frame.Image.Dim(2)
+	outOfRange := make([]int32, pixels)
+	outOfRange[pixels/2] = 99 // class beyond NumClasses
+	negative := make([]int32, pixels)
+	negative[0] = -3
+	bad := map[string][]int32{
+		"out-of-range class":            outOfRange,
+		"negative class":                negative,
+		"wrong pixel count":             make([]int32, 5),
+		"missing label, oracle teacher": nil,
+	}
+	for name, label := range bad {
+		clientConn, serverConn := transport.Pipe(4, nil)
+		srv := NewServer(DefaultConfig(), tinyStudent(77), teacher.NewOracle(77))
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(serverConn) }()
+		hello := transport.Hello{Version: transport.Version}
+		clientConn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(hello)})
+		if m, err := clientConn.Recv(); err != nil || m.Type != transport.MsgHello {
+			t.Fatalf("%s: no hello ack: %v %v", name, m.Type, err)
+		}
+		if m, err := clientConn.Recv(); err != nil || m.Type != transport.MsgStudentFull {
+			t.Fatalf("%s: no initial checkpoint: %v %v", name, m.Type, err)
+		}
+		kf := transport.KeyFrame{FrameIndex: 0, Image: frame.Image, Label: label}
+		clientConn.Send(transport.Message{Type: transport.MsgKeyFrame, Body: transport.EncodeKeyFrame(kf)})
+		if err := <-done; err == nil {
+			t.Fatalf("%s accepted; want protocol error", name)
+		}
+	}
+}
+
 // Clean shutdown: the server returns nil when the client closes politely.
 func TestServerCleanShutdown(t *testing.T) {
 	clientConn, serverConn := transport.Pipe(2, nil)

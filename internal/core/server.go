@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/teacher"
+	"repro/internal/tensor"
 	"repro/internal/transport"
 	"repro/internal/video"
 )
@@ -24,6 +25,11 @@ type Server struct {
 	// manager (internal/serve) registers the session here. Nil echoes the
 	// client's requested ID.
 	AssignSession func(transport.Hello) (uint64, error)
+	// EncodeDiff, when non-nil, replaces transport.EncodeStudentDiff for
+	// outgoing updates — the hook through which a harness installs a
+	// compression codec (internal/compress) on the diff path. The client
+	// must decode with a matching Client.DecodeDiff.
+	EncodeDiff func(transport.StudentDiff) ([]byte, error)
 }
 
 // NewServer builds a server around a student copy and a teacher.
@@ -108,6 +114,12 @@ func (s *Server) Loop(conn transport.Conn) error {
 			if err != nil {
 				return err
 			}
+			if err := validateLabel(kf.Label, kf.Image, s.Distiller.Student.Config.NumClasses); err != nil {
+				return err
+			}
+			if err := requireLabel(kf.Label, s.Teacher); err != nil {
+				return err
+			}
 			frame := video.Frame{Index: int(kf.FrameIndex), Image: kf.Image, Label: kf.Label}
 			label := s.Teacher.Infer(frame)
 			tr := s.Distiller.Train(frame, label)
@@ -116,7 +128,11 @@ func (s *Server) Loop(conn transport.Conn) error {
 				Metric:     tr.Metric,
 				Params:     nn.TrainableSubset(s.Distiller.Student.Params),
 			}
-			body, err := transport.EncodeStudentDiff(diff)
+			encode := transport.EncodeStudentDiff
+			if s.EncodeDiff != nil {
+				encode = s.EncodeDiff
+			}
+			body, err := encode(diff)
 			if err != nil {
 				return err
 			}
@@ -153,6 +169,14 @@ func (s *NaiveServer) Serve(conn transport.Conn) error {
 			if err != nil {
 				return err
 			}
+			// Same boundary hardening as Server.Loop; the naive server has
+			// no student, so the wire label set bounds the classes.
+			if err := validateLabel(kf.Label, kf.Image, video.NumClasses); err != nil {
+				return err
+			}
+			if err := requireLabel(kf.Label, s.Teacher); err != nil {
+				return err
+			}
 			mask := s.Teacher.Infer(video.Frame{Index: int(kf.FrameIndex), Image: kf.Image, Label: kf.Label})
 			body := transport.EncodePrediction(transport.Prediction{FrameIndex: kf.FrameIndex, Mask: mask})
 			if err := conn.Send(transport.Message{Type: transport.MsgPrediction, Body: body}); err != nil {
@@ -162,6 +186,44 @@ func (s *NaiveServer) Serve(conn transport.Conn) error {
 			return fmt.Errorf("core: naive server: unexpected message %v", m.Type)
 		}
 	}
+}
+
+// validateLabel rejects a malformed oracle side-channel at the protocol
+// boundary: out-of-range classes or a wrong-sized mask would otherwise
+// reach the confusion-matrix and loss indexing deep in the distiller and
+// panic the whole process — a hostile client must only fail its own
+// session. DecodeKeyFrame cannot do this; it does not know NumClasses.
+// An absent label is allowed (real deployments with a learned teacher ship
+// none); Loop separately rejects it when the teacher requires one.
+func validateLabel(label []int32, img *tensor.Tensor, numClasses int) error {
+	if img.Rank() != 3 {
+		return fmt.Errorf("core: key frame image has rank %d, want CHW", img.Rank())
+	}
+	if len(label) == 0 {
+		return nil
+	}
+	if want := img.Dim(1) * img.Dim(2); len(label) != want {
+		return fmt.Errorf("core: key frame label has %d pixels, image has %d", len(label), want)
+	}
+	for _, c := range label {
+		if c < 0 || int(c) >= numClasses {
+			return fmt.Errorf("core: key frame label class %d out of range [0,%d)", c, numClasses)
+		}
+	}
+	return nil
+}
+
+// requireLabel rejects a label-less key frame when the session teacher
+// derives its pseudo-label from the ground-truth side-channel (the Oracle
+// would otherwise panic inside a shared batcher worker).
+func requireLabel(label []int32, tch teacher.Teacher) error {
+	if len(label) > 0 {
+		return nil
+	}
+	if lr, ok := tch.(teacher.LabelRequirer); ok && lr.RequiresLabel() {
+		return fmt.Errorf("core: key frame carries no ground-truth label, but teacher %q requires one", tch.Name())
+	}
+	return nil
 }
 
 func encodeParams(params []*nn.Parameter) ([]byte, error) {

@@ -23,6 +23,11 @@ func (s *Suite) ablationSource() (video.Source, teacher.Teacher, error) {
 // AblationStride compares Algorithm 2 against the §4.1.5 rejected designs:
 // fixed strides (8 and 64) and exponential back-off. Columns report
 // accuracy, key-frame cost and throughput so the trade-off is visible.
+//
+// Column positions are a contract: internal/harness/fold.go converts the
+// ablation tables (this one, AblationAsync, AblationFreezePoint,
+// AblationLossWeighting) into structured scenario metrics by position, so
+// reordering or retyping columns requires updating the fold.
 func (s *Suite) AblationStride() (*stats.Table, error) {
 	t := stats.NewTable("Ablation: key-frame striding policy (moving/street)",
 		"Policy", "mIoU", "Key frame %", "FPS")

@@ -12,7 +12,9 @@ import (
 // partial-distillation diff of this repo's student: bytes on the wire,
 // compression ratio against float32, and worst-case reconstruction error.
 // (The paper ships raw float32; quantization/pruning are its named
-// extensions.)
+// extensions.) Column positions are a contract with internal/harness's
+// compression/diff-codecs scenario; the same codecs also run live on the
+// wire in the bandwidth-sweep codec scenarios (core.Server.EncodeDiff).
 func AblationCompression() (*stats.Table, error) {
 	st, err := SharedPretrained()
 	if err != nil {

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/transport"
+)
+
+// Codec-framed student diffs: the scenario layer installs a compress.Codec
+// on the server → client update path (core.Server.EncodeDiff /
+// core.Client.DecodeDiff) so the §8 model-compression codecs run on the
+// live wire, not just offline. The frame is FrameIndex, Metric, a
+// length-prefixed codec name (self-describing, so a mismatched client fails
+// loudly) and the codec payload.
+
+// DiffEncoder returns a core.Server.EncodeDiff implementation over c.
+func DiffEncoder(c compress.Codec) func(transport.StudentDiff) ([]byte, error) {
+	return func(d transport.StudentDiff) ([]byte, error) {
+		var buf bytes.Buffer
+		binary.Write(&buf, binary.LittleEndian, d.FrameIndex)
+		binary.Write(&buf, binary.LittleEndian, math.Float64bits(d.Metric))
+		name := c.Name()
+		if len(name) > 255 {
+			return nil, fmt.Errorf("harness: codec name %q too long", name)
+		}
+		buf.WriteByte(byte(len(name)))
+		buf.WriteString(name)
+		if err := c.Encode(&buf, d.Params); err != nil {
+			return nil, fmt.Errorf("harness: encoding diff with %s: %w", name, err)
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+// DiffDecoder returns a core.Client.DecodeDiff implementation over c.
+func DiffDecoder(c compress.Codec) func([]byte) (transport.StudentDiff, error) {
+	return func(b []byte) (transport.StudentDiff, error) {
+		var d transport.StudentDiff
+		r := bytes.NewReader(b)
+		if err := binary.Read(r, binary.LittleEndian, &d.FrameIndex); err != nil {
+			return d, fmt.Errorf("harness: diff index: %w", err)
+		}
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return d, fmt.Errorf("harness: diff metric: %w", err)
+		}
+		d.Metric = math.Float64frombits(bits)
+		n, err := r.ReadByte()
+		if err != nil {
+			return d, fmt.Errorf("harness: diff codec name length: %w", err)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return d, fmt.Errorf("harness: diff codec name: %w", err)
+		}
+		if string(name) != c.Name() {
+			return d, fmt.Errorf("harness: diff encoded with %q, client expects %q", name, c.Name())
+		}
+		params, err := c.Decode(r)
+		if err != nil {
+			return d, fmt.Errorf("harness: decoding %s diff: %w", c.Name(), err)
+		}
+		d.Params = params
+		return d, nil
+	}
+}
+
+// diffHooks resolves a spec's codec into the encode/decode pair to install;
+// raw returns (nil, nil) so the stock transport path runs untouched.
+func diffHooks(codec string) (func(transport.StudentDiff) ([]byte, error), func([]byte) (transport.StudentDiff, error), error) {
+	if codec == "" || codec == "raw" {
+		return nil, nil, nil
+	}
+	c, ok := compress.ByName(codec)
+	if !ok {
+		return nil, nil, fmt.Errorf("harness: unknown codec %q", codec)
+	}
+	return DiffEncoder(c), DiffDecoder(c), nil
+}

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Direction states which way a metric is allowed to move.
+type Direction int
+
+// Directions.
+const (
+	// HigherBetter fails when the current value drops more than tol below
+	// the baseline (throughput).
+	HigherBetter Direction = iota
+	// LowerBetter fails when the current value rises more than tol above
+	// the baseline (latency, allocations).
+	LowerBetter
+	// BothWays fails on a relative move of more than tol in either
+	// direction (behavioural invariants like the key-frame rate).
+	BothWays
+	// Informational never fails; drift is reported as a note.
+	Informational
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case HigherBetter:
+		return "higher-better"
+	case LowerBetter:
+		return "lower-better"
+	case BothWays:
+		return "both-ways"
+	case Informational:
+		return "informational"
+	}
+	return fmt.Sprintf("direction(%d)", int(d))
+}
+
+// Check is the gate definition for one metric.
+type Check struct {
+	Dir Direction
+	// Tol is the allowed relative move (0.5 = 50%). Tolerances default
+	// generous: the gate exists to catch order-of-magnitude regressions
+	// (a lost 10× allocation win, halved throughput) across unlike CI
+	// machines, not single-digit drift.
+	Tol float64
+}
+
+// DefaultChecks maps Metrics JSON keys (and "extra.<key>" entries) to their
+// gate. Metrics absent here are informational.
+var DefaultChecks = map[string]Check{
+	"aggregate_fps":           {HigherBetter, 0.5},
+	"mean_client_fps":         {HigherBetter, 0.5},
+	"latency_p50_ms":          {LowerBetter, 1.0},
+	"latency_p99_ms":          {LowerBetter, 2.0},
+	"mean_iou":                {HigherBetter, 0.25},
+	"key_frame_rate":          {BothWays, 0.5},
+	"bytes_up_hd_mb":          {BothWays, 0.6},
+	"bytes_down_hd_mb":        {BothWays, 0.6},
+	"mean_distill_steps":      {BothWays, 0.5},
+	"distill_step_ms":         {LowerBetter, 2.0},
+	"distill_allocs_per_step": {LowerBetter, 0.35},
+	"teacher_mean_batch":      {Informational, 0},
+	"wall_seconds":            {Informational, 0},
+}
+
+// Regression is one failed gate.
+type Regression struct {
+	Scenario string
+	Metric   string
+	Dir      Direction
+	Tol      float64
+	Base     float64
+	Cur      float64
+}
+
+// String renders one regression line.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%s, tol %.0f%%)",
+		r.Scenario, r.Metric, r.Base, r.Cur, r.Dir, r.Tol*100)
+}
+
+// metricValues flattens one Metrics row into the gated numeric fields,
+// keyed exactly as the JSON schema spells them.
+func metricValues(m Metrics) map[string]float64 {
+	out := map[string]float64{
+		"wall_seconds":            m.WallSeconds,
+		"aggregate_fps":           m.AggregateFPS,
+		"mean_client_fps":         m.MeanClientFPS,
+		"latency_p50_ms":          m.LatencyP50MS,
+		"latency_p99_ms":          m.LatencyP99MS,
+		"key_frame_rate":          m.KeyFrameRate,
+		"mean_iou":                m.MeanIoU,
+		"bytes_up_hd_mb":          m.BytesUpHDMB,
+		"bytes_down_hd_mb":        m.BytesDownHDMB,
+		"teacher_mean_batch":      m.TeacherMeanBatch,
+		"mean_distill_steps":      m.MeanDistillSteps,
+		"distill_step_ms":         m.DistillStepMS,
+		"distill_allocs_per_step": m.DistillAllocsPerStep,
+	}
+	for k, v := range m.Extra {
+		out["extra."+k] = v
+	}
+	return out
+}
+
+// Compare gates current against base. tolOverride remaps per-metric
+// tolerances ("latency_p99_ms" → 3.0); an override on a metric without a
+// default check gates it BothWays. A scenario present in base but missing
+// from current is itself a regression — coverage must not silently shrink.
+// notes report non-fatal drift (new scenarios, informational metrics moving
+// more than 2×).
+func Compare(base, current BenchFile, tolOverride map[string]float64) (regs []Regression, notes []string) {
+	curByName := map[string]Metrics{}
+	for _, m := range current.Results {
+		curByName[m.Scenario] = m
+	}
+	baseNames := map[string]bool{}
+
+	for _, bm := range base.Results {
+		baseNames[bm.Scenario] = true
+		cm, ok := curByName[bm.Scenario]
+		if !ok {
+			regs = append(regs, Regression{Scenario: bm.Scenario, Metric: "(scenario missing from current run)"})
+			continue
+		}
+		// Union of both sides' keys: an extra.* metric present on only one
+		// side must still be visited (it reports as drift below).
+		bv, cv := metricValues(bm), metricValues(cm)
+		keySet := map[string]bool{}
+		for k := range bv {
+			keySet[k] = true
+		}
+		for k := range cv {
+			keySet[k] = true
+		}
+		keys := make([]string, 0, len(keySet))
+		for k := range keySet {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b, c := bv[k], cv[k]
+			check, hasCheck := DefaultChecks[k]
+			if tol, ok := tolOverride[k]; ok {
+				if !hasCheck {
+					check = Check{Dir: BothWays}
+				}
+				check.Tol = tol
+				hasCheck = true
+			}
+			if !hasCheck {
+				check = Check{Dir: Informational}
+			}
+			if b == 0 {
+				// No baseline signal: relative gating is undefined. A value
+				// appearing where the baseline had none is drift, not a gate.
+				if c != 0 {
+					notes = append(notes, fmt.Sprintf("%s: %s has no baseline (now %.4g)", bm.Scenario, k, c))
+				}
+				continue
+			}
+			rel := (c - b) / b
+			bad := false
+			switch check.Dir {
+			case HigherBetter:
+				bad = rel < -check.Tol
+			case LowerBetter:
+				// A measured-before metric that reads 0 now did not improve —
+				// its measurement vanished (omitempty zero). HigherBetter and
+				// BothWays catch this via rel = -1; LowerBetter must not let
+				// it pass as a win.
+				bad = rel > check.Tol || c == 0
+			case BothWays:
+				bad = rel > check.Tol || rel < -check.Tol
+			case Informational:
+				if rel > 1 || rel < -0.5 {
+					notes = append(notes, fmt.Sprintf("%s: %s drifted %.4g -> %.4g (informational)", bm.Scenario, k, b, c))
+				}
+			}
+			if bad {
+				regs = append(regs, Regression{
+					Scenario: bm.Scenario, Metric: k,
+					Dir: check.Dir, Tol: check.Tol, Base: b, Cur: c,
+				})
+			}
+		}
+	}
+	for _, cm := range current.Results {
+		if !baseNames[cm.Scenario] {
+			notes = append(notes, fmt.Sprintf("%s: new scenario, no baseline to gate against", cm.Scenario))
+		}
+	}
+	return regs, notes
+}
+
+// ParseTolerances parses repeated "metric=frac" flags into an override map.
+func ParseTolerances(specs []string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, s := range specs {
+		k, v, ok := strings.Cut(s, "=")
+		if !ok {
+			return nil, fmt.Errorf("harness: tolerance %q not of form metric=frac", s)
+		}
+		// ParseFloat consumes the whole value, so a typo like "0.7x" or a
+		// ;-joined pair fails loudly (exit 2) instead of gating with a
+		// partial tolerance set.
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("harness: bad tolerance %q", s)
+		}
+		out[strings.TrimSpace(k)] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+// Package harness is the declarative scenario layer over the whole system:
+// named end-to-end scenarios (bandwidth profile — fixed or time-varying
+// trace — × client count × diff codec × video workload) run over a loopback
+// serve.Manager, producing structured, versioned, machine-readable metrics.
+// cmd/stbench drives it interactively (-list, -scenario, -json) and
+// cmd/benchdiff compares two metric files under per-metric tolerances — the
+// CI perf-regression gate.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema identifies the bench-file format; SchemaVersion is bumped on any
+// breaking change to the Metrics JSON layout (a golden test pins it).
+const (
+	Schema        = "shadowtutor-bench"
+	SchemaVersion = 1
+)
+
+// Metrics is the structured result of one scenario run. Field meanings:
+// throughput and latency are measured client-side over the real loopback
+// connection; bytes are wire bytes scaled to the paper's HD regime
+// (netsim.HDScale); teacher/distill numbers come from the shared
+// serve.Manager. Zero values mean "not measured by this scenario family".
+type Metrics struct {
+	Scenario        string `json:"scenario"`
+	Family          string `json:"family"`
+	Workload        string `json:"workload,omitempty"`
+	Bandwidth       string `json:"bandwidth,omitempty"`
+	Codec           string `json:"codec,omitempty"`
+	Clients         int    `json:"clients,omitempty"`
+	FramesPerClient int    `json:"frames_per_client,omitempty"`
+
+	WallSeconds   float64 `json:"wall_seconds,omitempty"`
+	AggregateFPS  float64 `json:"aggregate_fps,omitempty"`
+	MeanClientFPS float64 `json:"mean_client_fps,omitempty"`
+	LatencyP50MS  float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP99MS  float64 `json:"latency_p99_ms,omitempty"`
+
+	KeyFrameRate float64 `json:"key_frame_rate,omitempty"`
+	MeanIoU      float64 `json:"mean_iou,omitempty"`
+
+	BytesUpHDMB   float64 `json:"bytes_up_hd_mb,omitempty"`
+	BytesDownHDMB float64 `json:"bytes_down_hd_mb,omitempty"`
+
+	TeacherMeanBatch     float64 `json:"teacher_mean_batch,omitempty"`
+	MeanDistillSteps     float64 `json:"mean_distill_steps,omitempty"`
+	DistillStepMS        float64 `json:"distill_step_ms,omitempty"`
+	DistillAllocsPerStep float64 `json:"distill_allocs_per_step,omitempty"`
+
+	// Extra carries family-specific metrics (ablation columns, codec byte
+	// counts). Keys are stable snake_case; benchdiff treats them as
+	// informational unless given an explicit tolerance ("extra.<key>").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchFile is the on-disk container cmd/stbench emits and cmd/benchdiff
+// consumes.
+type BenchFile struct {
+	Schema        string    `json:"schema"`
+	SchemaVersion int       `json:"schema_version"`
+	Results       []Metrics `json:"results"`
+}
+
+// NewBenchFile wraps results with the current schema header.
+func NewBenchFile(results []Metrics) BenchFile {
+	return BenchFile{Schema: Schema, SchemaVersion: SchemaVersion, Results: results}
+}
+
+// Validate checks the schema header.
+func (f BenchFile) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("harness: schema %q, want %q", f.Schema, Schema)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("harness: schema version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	return nil
+}
+
+// WriteFile writes results as indented JSON to path.
+func WriteFile(path string, results []Metrics) error {
+	b, err := json.MarshalIndent(NewBenchFile(results), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile parses and validates a bench file.
+func ReadFile(path string) (BenchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("harness: parsing %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return BenchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

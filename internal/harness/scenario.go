@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Spec declares what one end-to-end scenario runs: the workload, the link,
+// the client population and the diff codec. Zero fields take defaults (see
+// setDefaults) so registered scenarios only state what they vary.
+type Spec struct {
+	// Workload selects the video stream: an LVS category ("moving/street"),
+	// a named Figure-4 stream ("drone"), or "mixed" to cycle the seven
+	// categories across clients (the multi-client deployments of §1/§7).
+	Workload string
+	// Clients is the number of concurrent sessions (default 1).
+	Clients int
+	// Frames per client (default 240, enough for qualitative shapes).
+	Frames int
+	// EvalEvery samples the accuracy comparison every n-th frame
+	// (default 4; 1 is the paper protocol).
+	EvalEvery int
+	// Seed is the master seed (default 11).
+	Seed int64
+	// Bandwidth throttles each client link; 0 means unthrottled. Ignored
+	// when Trace is set.
+	Bandwidth netsim.Mbps
+	// Trace, when non-nil, drives a time-varying bandwidth profile on each
+	// client link (the §6.4 sweep experienced live by one connection).
+	Trace *netsim.Trace
+	// Codec names the student-diff compression codec (compress.ByName);
+	// empty or "raw" ships float32 as the paper does.
+	Codec string
+	// MaxBatch caps the shared teacher micro-batch (default 8).
+	MaxBatch int
+	// MeasureAllocs additionally measures steady-state distill-step
+	// allocations (single-goroutine, after the run) — the PR 2 guard.
+	MeasureAllocs bool
+}
+
+func (s *Spec) setDefaults() {
+	if s.Clients <= 0 {
+		s.Clients = 1
+	}
+	if s.Frames <= 0 {
+		s.Frames = 240
+	}
+	if s.EvalEvery <= 0 {
+		s.EvalEvery = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 11
+	}
+	if s.MaxBatch <= 0 {
+		s.MaxBatch = 8
+	}
+	if s.Workload == "" {
+		s.Workload = "mixed"
+	}
+}
+
+// WithDefaults returns the spec as the driver will actually run it, with
+// every zero field resolved — the single source of truth for what
+// `stbench -list` displays.
+func (s Spec) WithDefaults() Spec {
+	s.setDefaults()
+	return s
+}
+
+// BandwidthLabel renders the link profile for metrics and -list output.
+func (s Spec) BandwidthLabel() string {
+	switch {
+	case s.Trace != nil:
+		return "trace:" + s.Trace.Name()
+	case s.Bandwidth > 0:
+		return fmt.Sprintf("%gMbps", float64(s.Bandwidth))
+	default:
+		return "unthrottled"
+	}
+}
+
+// CodecLabel renders the codec for metrics output.
+func (s Spec) CodecLabel() string {
+	if s.Codec == "" {
+		return "raw"
+	}
+	return s.Codec
+}
+
+// Scenario is one registered, named experiment. Names are hierarchical
+// ("family/variant") so globs select whole families: -scenario
+// 'bandwidth-sweep/*'. Run is nil for driver scenarios (the default
+// loopback serve.Manager pipeline); custom scenarios (folded ablation and
+// compression runners) provide their own Run over the same Spec knobs.
+type Scenario struct {
+	Name string
+	Desc string
+	Spec Spec
+	Run  func(Spec) ([]Metrics, error)
+}
+
+// Family returns the scenario name up to the first '/'.
+func (s Scenario) Family() string {
+	if i := strings.IndexByte(s.Name, '/'); i >= 0 {
+		return s.Name[:i]
+	}
+	return s.Name
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the global registry; duplicate names panic
+// (registration happens in package init blocks).
+func Register(s Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if s.Name == "" {
+		panic("harness: scenario with empty name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("harness: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// All returns every registered scenario sorted by name.
+func All() []Scenario {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Match returns the scenarios whose names match pattern — an exact name or
+// a path.Match glob ('*' does not cross '/', so 'bandwidth-sweep/*' selects
+// exactly that family). The result is sorted by name.
+func Match(pattern string) ([]Scenario, error) {
+	regMu.Lock()
+	if s, ok := registry[pattern]; ok {
+		regMu.Unlock()
+		return []Scenario{s}, nil
+	}
+	regMu.Unlock()
+	var out []Scenario
+	for _, s := range All() {
+		ok, err := path.Match(pattern, s.Name)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bad scenario pattern %q: %w", pattern, err)
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Overrides are caller adjustments (stbench flags) applied on top of a
+// scenario's spec before it runs; zero fields leave the spec untouched.
+type Overrides struct {
+	Frames    int
+	EvalEvery int
+	Seed      int64
+}
+
+// RunScenario applies overrides and executes the scenario via its custom
+// Run or the default end-to-end driver.
+func RunScenario(s Scenario, ov Overrides) ([]Metrics, error) {
+	spec := s.Spec
+	if ov.Frames > 0 {
+		spec.Frames = ov.Frames
+	}
+	if ov.EvalEvery > 0 {
+		spec.EvalEvery = ov.EvalEvery
+	}
+	if ov.Seed != 0 {
+		spec.Seed = ov.Seed
+	}
+	spec.setDefaults()
+	if s.Run != nil {
+		ms, err := s.Run(spec)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scenario %s: %w", s.Name, err)
+		}
+		for i := range ms {
+			if ms[i].Scenario == "" {
+				ms[i].Scenario = s.Name
+			}
+			if ms[i].Family == "" {
+				ms[i].Family = s.Family()
+			}
+		}
+		return ms, nil
+	}
+	m, err := Drive(s.Name, s.Family(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("harness: scenario %s: %w", s.Name, err)
+	}
+	return []Metrics{m}, nil
+}

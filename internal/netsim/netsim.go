@@ -98,6 +98,17 @@ func (a *Accountant) Transfers() (up, down int64) {
 	return a.upTransfers, a.downTransfers
 }
 
+// HDScale converts locally measured wire bytes into HD-equivalent bytes:
+// our reduced-resolution frames cost localKeyFrameBytes on the wire where
+// the paper's 720p key frame costs HDFrameBytes, so local byte counts are
+// scaled by that ratio to stay comparable to Tables 4–5.
+func HDScale(localBytes int64, localKeyFrameBytes int) float64 {
+	if localKeyFrameBytes <= 0 {
+		return 0
+	}
+	return float64(localBytes) * float64(HDFrameBytes) / float64(localKeyFrameBytes)
+}
+
 // TrafficMbps converts total bytes over a wall-clock duration to Mbps.
 func TrafficMbps(totalBytes int64, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

@@ -46,6 +46,14 @@ func (c *ThrottledConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// SetBandwidth re-rates both directions of the link mid-stream. Tokens
+// accrued under the old rate are kept; a transfer currently sleeping off a
+// token deficit notices the new rate within one sleep slice (≤100ms).
+func (c *ThrottledConn) SetBandwidth(bw Mbps) {
+	c.read.setRate(bw.BytesPerSecond())
+	c.write.setRate(bw.BytesPerSecond())
+}
+
 // Write implements net.Conn with upload throttling.
 func (c *ThrottledConn) Write(p []byte) (int, error) {
 	written := 0
@@ -83,19 +91,77 @@ func newTokenBucket(rate float64, burst float64) *tokenBucket {
 	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
 }
 
-// wait blocks until n tokens are available, then consumes them.
-func (b *tokenBucket) wait(n int) {
-	b.mu.Lock()
-	now := time.Now()
+// advance accrues tokens for the wall time since the last accrual. Caller
+// holds b.mu.
+func (b *tokenBucket) advance(now time.Time) {
 	b.tokens += now.Sub(b.last).Seconds() * b.rate
 	if b.tokens > b.burst {
 		b.tokens = b.burst
 	}
 	b.last = now
+}
+
+// setRate changes the refill rate, first settling tokens owed at the old
+// rate so in-flight debt is repriced, not forgiven.
+func (b *tokenBucket) setRate(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %v", rate))
+	}
+	b.mu.Lock()
+	b.advance(time.Now())
+	b.rate = rate
+	b.mu.Unlock()
+}
+
+// maxSleepSlice bounds one uninterrupted wait sleep so a concurrent setRate
+// (a bandwidth trace step) takes effect promptly instead of after a
+// possibly minutes-long sleep priced at the old rate.
+const maxSleepSlice = 100 * time.Millisecond
+
+// wait blocks until n tokens are available, then consumes them. The bucket
+// may go into debt (tokens < 0); the caller sleeps the debt off at the
+// current rate, re-checking the rate every sleep slice.
+func (b *tokenBucket) wait(n int) {
+	b.mu.Lock()
+	b.advance(time.Now())
 	b.tokens -= float64(n)
 	deficit := -b.tokens
+	rate := b.rate
 	b.mu.Unlock()
-	if deficit > 0 {
-		time.Sleep(time.Duration(deficit / b.rate * float64(time.Second)))
+	for deficit > 0 {
+		d := time.Duration(deficit / rate * float64(time.Second))
+		if d > maxSleepSlice {
+			d = maxSleepSlice
+		}
+		time.Sleep(d)
+		b.mu.Lock()
+		b.advance(time.Now())
+		deficit = -b.tokens
+		rate = b.rate
+		b.mu.Unlock()
 	}
+}
+
+// TracedConn is a ThrottledConn whose bandwidth follows a Trace in real
+// time, starting when the conn is created. Close stops the trace driver.
+type TracedConn struct {
+	*ThrottledConn
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewTracedConn wraps conn with a throttle at the trace's initial bandwidth
+// and starts a goroutine applying the remaining steps on schedule. acct may
+// be nil.
+func NewTracedConn(conn net.Conn, tr *Trace, acct *Accountant) *TracedConn {
+	tc := NewThrottledConn(conn, tr.Initial(), acct)
+	c := &TracedConn{ThrottledConn: tc, stop: make(chan struct{})}
+	go tr.Drive(tc.SetBandwidth, c.stop)
+	return c
+}
+
+// Close implements net.Conn; it also stops the trace driver.
+func (c *TracedConn) Close() error {
+	c.once.Do(func() { close(c.stop) })
+	return c.ThrottledConn.Close()
 }

@@ -45,6 +45,10 @@ type Options struct {
 	// finish before force-closing their connections (default 30s; negative
 	// waits forever). A stalled client must not be able to wedge shutdown.
 	DrainTimeout time.Duration
+	// EncodeDiff, when non-nil, is installed on every session's core.Server
+	// so outgoing student diffs are encoded with a custom codec (see
+	// core.Server.EncodeDiff and internal/harness).
+	EncodeDiff func(transport.StudentDiff) ([]byte, error)
 	// Logf, when non-nil, receives session lifecycle lines.
 	Logf func(format string, v ...any)
 }
@@ -59,10 +63,30 @@ type SessionInfo struct {
 
 // Stats aggregates manager activity.
 type Stats struct {
-	SessionsServed int64 // sessions completed
-	Active         int   // sessions currently running
-	KeyFrames      int64 // key frames distilled across completed sessions
+	SessionsServed int64         // sessions completed
+	Active         int           // sessions currently running
+	KeyFrames      int64         // key frames distilled across completed sessions
+	DistillSteps   int64         // optimisation steps across completed sessions
+	DistillTime    time.Duration // wall time spent in those steps
 	Teacher        teacher.BatchStats
+}
+
+// MeanDistillSteps is the mean number of optimisation steps per key frame
+// across completed sessions.
+func (s Stats) MeanDistillSteps() float64 {
+	if s.KeyFrames == 0 {
+		return 0
+	}
+	return float64(s.DistillSteps) / float64(s.KeyFrames)
+}
+
+// MeanStepLatency is the mean wall time of one distillation step across
+// completed sessions.
+func (s Stats) MeanStepLatency() time.Duration {
+	if s.DistillSteps == 0 {
+		return 0
+	}
+	return s.DistillTime / time.Duration(s.DistillSteps)
 }
 
 type session struct {
@@ -81,14 +105,16 @@ type Manager struct {
 	once    sync.Once
 	wg      sync.WaitGroup
 
-	mu        sync.Mutex
-	closed    bool
-	nextID    uint64
-	active    map[uint64]*session
-	conns     map[transport.Conn]struct{}
-	served    int64
-	keyFrames int64
-	listeners []*transport.Listener
+	mu           sync.Mutex
+	closed       bool
+	nextID       uint64
+	active       map[uint64]*session
+	conns        map[transport.Conn]struct{}
+	served       int64
+	keyFrames    int64
+	distillSteps int64
+	distillTime  time.Duration
+	listeners    []*transport.Listener
 }
 
 // NewManager builds a Manager and starts the shared teacher queue.
@@ -147,6 +173,7 @@ func (m *Manager) Handle(conn transport.Conn) error {
 	// Per-session state: a private clone of the checkpoint with its own
 	// distiller and optimizer; the teacher is the shared batched queue.
 	srv := core.NewServer(m.opts.Cfg, m.opts.Base.Clone(), m.batcher)
+	srv.EncodeDiff = m.opts.EncodeDiff
 	var id uint64
 	srv.AssignSession = func(h transport.Hello) (uint64, error) {
 		id = m.register(h.SessionID, srv)
@@ -222,6 +249,8 @@ func (m *Manager) unregister(id uint64) {
 		delete(m.active, id)
 		m.served++
 		m.keyFrames += int64(s.srv.Distiller.TotalTrains)
+		m.distillSteps += int64(s.srv.Distiller.TotalSteps)
+		m.distillTime += s.srv.Distiller.TotalStepTime
 	}
 }
 
@@ -270,6 +299,8 @@ func (m *Manager) Stats() Stats {
 		SessionsServed: m.served,
 		Active:         len(m.active),
 		KeyFrames:      m.keyFrames,
+		DistillSteps:   m.distillSteps,
+		DistillTime:    m.distillTime,
 		Teacher:        m.batcher.Stats(),
 	}
 }

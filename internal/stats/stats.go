@@ -47,6 +47,17 @@ func (t *Table) AddRowf(cells ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a copy of the data rows, so machine consumers (the scenario
+// harness folds table-producing experiments into structured metrics) can
+// read cells without reparsing the rendered text.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	cols := len(t.Header)
@@ -107,18 +118,32 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// Median returns the median of xs (0 for empty input).
-func Median(xs []float64) float64 {
+// Median returns the median of xs (0 for empty input). It is the 50th
+// percentile: linear interpolation at the midpoint equals the mean of the
+// two middle order statistics for even n.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile of xs (p in [0,100]) using linear
+// interpolation between order statistics; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	c := append([]float64(nil), xs...)
 	sort.Float64s(c)
-	n := len(c)
-	if n%2 == 1 {
-		return c[n/2]
+	if p <= 0 {
+		return c[0]
 	}
-	return (c[n/2-1] + c[n/2]) / 2
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	pos := p / 100 * float64(len(c)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c) {
+		return c[lo]
+	}
+	return c[lo] + frac*(c[lo+1]-c[lo])
 }
 
 // MinMax returns the extrema of xs; ok=false for empty input.

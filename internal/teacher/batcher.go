@@ -118,6 +118,15 @@ func NewBatcher(t Teacher, opts BatcherOptions) *Batcher {
 // Name implements Teacher.
 func (b *Batcher) Name() string { return "batched(" + b.t.Name() + ")" }
 
+// RequiresLabel implements LabelRequirer by forwarding to the wrapped
+// teacher.
+func (b *Batcher) RequiresLabel() bool {
+	if lr, ok := b.t.(LabelRequirer); ok {
+		return lr.RequiresLabel()
+	}
+	return false
+}
+
 // Infer implements Teacher: it enqueues the frame and blocks until the
 // shared teacher has labelled its batch. Safe for any number of concurrent
 // callers. After Close it falls back to a direct (still serialised) call so

@@ -24,6 +24,17 @@ func NewEnsemble(teachers ...Teacher) (*Ensemble, error) {
 	return &Ensemble{Teachers: teachers}, nil
 }
 
+// RequiresLabel implements LabelRequirer: the ensemble needs the ground
+// truth if any member does.
+func (e *Ensemble) RequiresLabel() bool {
+	for _, t := range e.Teachers {
+		if lr, ok := t.(LabelRequirer); ok && lr.RequiresLabel() {
+			return true
+		}
+	}
+	return false
+}
+
 // Name implements Teacher.
 func (e *Ensemble) Name() string {
 	name := "ensemble("
@@ -79,6 +90,14 @@ type DataDistillation struct {
 
 // Name implements Teacher.
 func (d *DataDistillation) Name() string { return "datadistill(" + d.Base.Name() + ")" }
+
+// RequiresLabel implements LabelRequirer by forwarding to the base teacher.
+func (d *DataDistillation) RequiresLabel() bool {
+	if lr, ok := d.Base.(LabelRequirer); ok {
+		return lr.RequiresLabel()
+	}
+	return false
+}
 
 // Infer implements Teacher.
 func (d *DataDistillation) Infer(f video.Frame) []int32 {

@@ -56,6 +56,18 @@ func NewOracle(seed int64) *Oracle {
 // Name implements Teacher.
 func (o *Oracle) Name() string { return "oracle" }
 
+// LabelRequirer is implemented by teachers whose pseudo-label derivation
+// needs the wire ground-truth side-channel. Servers probe it at the
+// protocol boundary so a label-less key frame is rejected as a session
+// error instead of panicking Infer in a shared worker goroutine.
+type LabelRequirer interface {
+	RequiresLabel() bool
+}
+
+// RequiresLabel implements LabelRequirer: the oracle derives its output
+// from the ground truth.
+func (o *Oracle) RequiresLabel() bool { return true }
+
 // Infer implements Teacher.
 func (o *Oracle) Infer(f video.Frame) []int32 {
 	h, w := f.Image.Dim(1), f.Image.Dim(2)

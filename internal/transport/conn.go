@@ -76,6 +76,17 @@ func Dial(addr string, bw netsim.Mbps, acct *netsim.Accountant) (*TCPConn, error
 	return NewTCPConn(conn, acct, false), nil
 }
 
+// DialShaped connects to a ShadowTutor server over a link whose bandwidth
+// follows a time-varying trace (§6.4's sweep as one connection would live
+// it). The trace driver starts on dial and stops when the conn is closed.
+func DialShaped(addr string, tr *netsim.Trace, acct *netsim.Accountant) (*TCPConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(netsim.NewTracedConn(nc, tr, nil), acct, false), nil
+}
+
 // Listener accepts ShadowTutor protocol connections.
 type Listener struct {
 	ln   net.Listener

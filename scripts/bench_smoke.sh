@@ -1,70 +1,23 @@
 #!/usr/bin/env bash
-# Benchmark smoke for the zero-allocation hot path (PR 2).
+# Benchmark smoke: run the CI scenario matrix through the declarative
+# harness (internal/harness) and emit machine-readable metrics.
 #
-# Runs BenchmarkStudentInference and BenchmarkTable2DistillStep once each
-# (-benchtime=1x after an in-benchmark warmup), converts the -benchmem output
-# into BENCH_pr2.json, and fails when allocs/op breach the budgets below —
-# which sit at ~10% of the pre-PR baselines, so any breach means the ≥10×
-# allocation win regressed. The testing.AllocsPerRun budget tests
-# (alloc_test.go) enforce the same property deterministically at one worker;
-# this smoke additionally covers the multi-worker dispatch path.
+# Usage:
+#   bench_smoke.sh [output.json]
+#
+# The output path defaults to $BENCH_JSON, then BENCH_pr3.json. Scenario
+# selection comes from $SCENARIOS (comma-separated names/globs; default is
+# the CI regression-gate matrix). CI compares the output against the
+# committed baseline with `benchdiff ci/bench_baseline.json <output>`;
+# allocation budgets are additionally enforced deterministically by the
+# TestAllocBudget suite (alloc_test.go) in the test job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_JSON:-BENCH_pr2.json}"
+OUT="${1:-${BENCH_JSON:-BENCH_pr3.json}}"
+SCENARIOS="${SCENARIOS:-bandwidth-sweep/*,multiclient/c1,alloc/distill-step,compression/diff-codecs}"
 
-# Pre-PR baselines (allocs/op), measured at commit 58389fb.
-BASE_INFER=1062
-BASE_PARTIAL=3931
-BASE_FULL=4990
-
-# Budgets: baseline/10 rounded down, plus parallel-dispatch headroom (each
-# Parallel call allocates one job + one closure per invocation regardless of
-# core count).
-BUDGET_INFER=106
-BUDGET_PARTIAL=393
-BUDGET_FULL=499
-
-echo "== bench smoke: student inference + distill step =="
-raw=$(SHADOWTUTOR_PRETRAIN_STEPS="${SHADOWTUTOR_PRETRAIN_STEPS:-120}" \
-  go test -run '^$' -bench 'BenchmarkStudentInference$|BenchmarkTable2DistillStep' \
-    -benchtime=1x -benchmem -timeout 20m .)
-echo "$raw"
-
-echo "$raw" | awk -v out="$OUT" -v bi="$BUDGET_INFER" -v bp="$BUDGET_PARTIAL" -v bf="$BUDGET_FULL" \
-    -v zi="$BASE_INFER" -v zp="$BASE_PARTIAL" -v zf="$BASE_FULL" '
-/^Benchmark/ {
-    name=$1; sub(/-[0-9]+$/, "", name)
-    ns=""; bytes=""; allocs=""
-    for (i=2; i<=NF; i++) {
-        if ($i == "ns/op")     ns=$(i-1)
-        if ($i == "B/op")      bytes=$(i-1)
-        if ($i == "allocs/op") allocs=$(i-1)
-    }
-    budget=-1; base=-1
-    if (name == "BenchmarkStudentInference")              { budget=bi; base=zi }
-    if (name == "BenchmarkTable2DistillStep/partial")     { budget=bp; base=zp }
-    if (name == "BenchmarkTable2DistillStep/full")        { budget=bf; base=zf }
-    rows = rows sep sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"alloc_budget\": %d, \"baseline_allocs_pre_pr2\": %d}", name, ns, bytes, allocs, budget, base)
-    sep = ",\n"
-    if (budget >= 0) seen[name]=1
-    if (budget >= 0 && allocs+0 > budget) {
-        printf "FAIL: %s allocates %s/op, budget %d (pre-PR2 baseline %d)\n", name, allocs, budget, base > "/dev/stderr"
-        bad=1
-    }
-}
-END {
-    # An empty or partial run must fail, not silently pass: every guarded
-    # benchmark has to have been measured.
-    n = split("BenchmarkStudentInference BenchmarkTable2DistillStep/partial BenchmarkTable2DistillStep/full", want, " ")
-    for (i = 1; i <= n; i++) {
-        if (!(want[i] in seen)) {
-            printf "FAIL: benchmark %s missing from output — smoke measured nothing for it\n", want[i] > "/dev/stderr"
-            bad=1
-        }
-    }
-    printf "{\n  \"benchmarks\": [\n%s\n  ]\n}\n", rows > out
-    exit bad
-}'
-
-echo "== allocation budgets OK; results written to $OUT =="
+echo "== scenario smoke (${SCENARIOS}) -> ${OUT} =="
+SHADOWTUTOR_PRETRAIN_STEPS="${SHADOWTUTOR_PRETRAIN_STEPS:-120}" \
+  go run ./cmd/stbench -scenario "${SCENARIOS}" -json "${OUT}"
+echo "== scenario metrics written to ${OUT} =="
