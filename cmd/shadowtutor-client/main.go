@@ -7,11 +7,18 @@
 // Usage:
 //
 //	shadowtutor-client -connect 127.0.0.1:7607 -stream moving/street -frames 500
+//
+// With -reconnect (the default) a dropped connection does not kill the
+// session: the client keeps inferring locally on its stale student,
+// redials with backoff, and resumes the server-side session via the
+// protocol-v3 Resume handshake (journal replay, full-checkpoint fallback).
+// -reconnect=false restores the legacy fail-fast behaviour.
 package main
 
 import (
 	"flag"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -32,6 +39,9 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 0, "throttle link to this many Mbps (0 = unlimited)")
 		evalIoU   = flag.Bool("eval", true, "measure mIoU against the oracle teacher per frame")
 		session   = flag.Uint64("session", 0, "session ID to request from the server (0 = server-assigned)")
+		reconnect = flag.Bool("reconnect", true, "survive connection drops: redial with backoff and resume the session")
+		backoff   = flag.Duration("reconnect-backoff", 100*time.Millisecond, "initial redial backoff (doubles per attempt, capped at 1s)")
+		attempts  = flag.Int("reconnect-attempts", 8, "redial attempts per outage before giving up")
 	)
 	flag.Parse()
 
@@ -44,7 +54,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	conn, err := transport.Dial(*connect, netsim.Mbps(*bandwidth), nil)
+	dial := func() (transport.Conn, error) {
+		return transport.Dial(*connect, netsim.Mbps(*bandwidth), nil)
+	}
+	conn, err := dial()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,6 +67,11 @@ func main() {
 		Cfg:       core.DefaultConfig(),
 		Student:   nn.NewStudentForWire(),
 		SessionID: *session,
+	}
+	if *reconnect {
+		client.Dial = dial
+		client.ResumeBackoff = *backoff
+		client.MaxResumeAttempts = *attempts
 	}
 	if *evalIoU {
 		client.EvalTeacher = teacher.NewOracle(1)
@@ -66,6 +84,10 @@ func main() {
 	log.Printf("done: session %d, %d frames in %v (%.2f FPS), %d key frames (%.2f%%), mIoU %.3f",
 		r.SessionID, r.Frames, r.Elapsed.Round(1e6), float64(r.Frames)/r.Elapsed.Seconds(),
 		r.KeyFrames, 100*float64(r.KeyFrames)/float64(r.Frames), r.MeanIoU)
+	if r.Reconnects > 0 {
+		log.Printf("resilience: %d reconnects (%d journal replays, %d full resends), %d frames on stale weights",
+			r.Reconnects, r.ResumeReplays, r.FullResends, r.StaleFrames)
+	}
 }
 
 func streamConfig(stream string, seed int64) (video.Config, error) {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -37,6 +38,8 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 64, "concurrent client session cap")
 		maxBatch    = flag.Int("max-batch", 8, "max key frames per shared-teacher invocation")
 		workers     = flag.Int("batch-workers", 2, "teacher queue worker pool size")
+		resumeTTL   = flag.Duration("resume-ttl", 2*time.Minute, "how long a disconnected session stays resumable (negative disables resumption)")
+		journal     = flag.Int("journal-depth", 8, "recent student diffs journaled per session for resume replay")
 	)
 	flag.Parse()
 
@@ -66,6 +69,8 @@ func main() {
 		MaxSessions:  *maxSessions,
 		MaxBatch:     *maxBatch,
 		BatchWorkers: *workers,
+		ResumeTTL:    *resumeTTL,
+		JournalDepth: *journal,
 		Logf:         log.Printf,
 	})
 	if err != nil {
@@ -97,4 +102,8 @@ func main() {
 	st := mgr.Stats()
 	log.Printf("served %d sessions, %d key frames, mean teacher batch %.2f",
 		st.SessionsServed, st.KeyFrames, st.Teacher.MeanBatch())
+	if st.Resumed > 0 || st.Evicted > 0 {
+		log.Printf("resilience: %d resumes (%d journal replays, %d full fallbacks), %d parked sessions evicted",
+			st.Resumed, st.ResumeReplays, st.ResumeFulls, st.Evicted)
+	}
 }

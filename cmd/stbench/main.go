@@ -222,14 +222,14 @@ func runScenarios(patterns, jsonPath string, ov harness.Overrides) {
 	}
 
 	t := stats.NewTable(fmt.Sprintf("Scenario metrics (%d rows)", len(results)),
-		"Scenario", "FPS", "p50 ms", "p99 ms", "KF %", "mIoU", "Up HD-MB", "Down HD-MB", "Batch", "Allocs/step", "Extra")
+		"Scenario", "FPS", "p50 ms", "p99 ms", "KF %", "mIoU", "Up HD-MB", "Down HD-MB", "Batch", "Allocs/step", "Resil.", "Extra")
 	for _, m := range results {
 		t.AddRow(m.Scenario,
 			fmtF(m.AggregateFPS), fmtF(m.LatencyP50MS), fmtF(m.LatencyP99MS),
 			fmtF(m.KeyFrameRate*100), fmtF(m.MeanIoU*100),
 			fmtF(m.BytesUpHDMB), fmtF(m.BytesDownHDMB),
 			fmtF(m.TeacherMeanBatch), fmtF(m.DistillAllocsPerStep),
-			fmtExtra(m.Extra))
+			fmtResilience(m), fmtExtra(m.Extra))
 	}
 	fmt.Println(t)
 
@@ -247,6 +247,15 @@ func fmtF(v float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.2f", v)
+}
+
+// fmtResilience renders the chaos recovery counters compactly:
+// reconnects/journal-replays/full-resends plus mean recovery latency.
+func fmtResilience(m harness.Metrics) string {
+	if m.Reconnects == 0 && m.FullResends == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("r%d/j%d/f%d %.0fms", m.Reconnects, m.ResumeReplays, m.FullResends, m.RecoveryMeanMS)
 }
 
 // fmtExtra renders family-specific metrics (the only data the folded

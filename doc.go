@@ -26,6 +26,15 @@
 //	go run ./cmd/shadowtutor-server -listen 127.0.0.1:7607 -max-sessions 64
 //	go run ./cmd/shadowtutor-client -connect 127.0.0.1:7607 -stream moving/street
 //
+// Sessions survive connection drops: the client runs with -reconnect by
+// default, so on a mid-stream failure it keeps inferring locally on its
+// stale student, redials with backoff, and resumes its server-side session
+// (protocol-v3 Resume handshake — the server replays only the journaled
+// student diffs the client missed). Kill the client's network mid-run and
+// watch the "resilience:" summary count the recoveries; the server keeps
+// dropped sessions resumable for -resume-ttl (default 2m) with
+// -journal-depth recent diffs. -reconnect=false restores fail-fast.
+//
 // To regenerate the paper's tables, or the multi-client scaling table:
 //
 //	go run ./cmd/stbench -frames 600
@@ -41,7 +50,13 @@
 //
 //	go run ./cmd/stbench -list
 //	go run ./cmd/stbench -scenario bandwidth-sweep/8mbps-c1-raw
+//	go run ./cmd/stbench -scenario 'chaos/*'
 //	go run ./cmd/stbench -scenario 'bandwidth-sweep/*' -json BENCH_pr3.json
+//
+// The chaos/* family injects scripted mid-stream connection faults
+// (netsim.FaultyConn) and measures the resilience subsystem: reconnects,
+// journal-replay vs full-checkpoint recoveries, recovery latency, frames
+// inferred on stale weights, and the mIoU cost against a fault-free twin.
 //
 // cmd/benchdiff compares two such JSON files under per-metric tolerances
 // and exits nonzero on regression — the CI perf gate:

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -16,6 +18,15 @@ import (
 // received asynchronously, and the client keeps inferring non-key frames on
 // the slightly outdated student in the meantime. The updated weights are
 // awaited for at most MIN_STRIDE frames (Algorithm 4 lines 15–17).
+//
+// With a Dial callback installed, Run is additionally restartable: a
+// dropped connection no longer kills the session. The client keeps
+// inferring every frame on its stale student (the paper's graceful-
+// degradation story), while a background goroutine redials with
+// exponential backoff and resumes the server-side session through the
+// protocol-v3 Resume handshake — replaying only the journaled diffs it
+// missed, falling back to a full checkpoint (or a fresh session) when the
+// server can no longer bridge the gap.
 type Client struct {
 	Cfg     Config
 	Student *nn.Student
@@ -41,6 +52,19 @@ type Client struct {
 	// (one entry per processed frame), feeding p50/p99 latency metrics.
 	TrackLatency bool
 
+	// Dial, when non-nil, makes the session resumable: after a connection
+	// failure Run keeps going and redials through this callback. Nil keeps
+	// the legacy fail-fast contract (any connection error ends Run).
+	Dial func() (transport.Conn, error)
+	// MaxResumeAttempts bounds redials per outage before Run gives up and
+	// reports the failure (default 8).
+	MaxResumeAttempts int
+	// ResumeBackoff is the delay before the first redial of an outage,
+	// doubled per failed attempt and capped at one second (default 25ms).
+	// The initial wait also gives the server time to notice the drop and
+	// park the session.
+	ResumeBackoff time.Duration
+
 	// Stats populated by Run.
 	Result ClientResult
 
@@ -60,6 +84,15 @@ type ClientResult struct {
 	// everything one loop iteration pays (key-frame send, inference, eval,
 	// opportunistic update application).
 	FrameLatencies []time.Duration
+
+	// Resilience counters (all zero on a fault-free run).
+	Reconnects    int // successful re-attachments after a connection loss
+	ResumeReplays int // reconnects recovered via journal replay
+	FullResends   int // full checkpoints received after the initial handshake
+	StaleFrames   int // frames inferred on stale weights while disconnected
+	// RecoveryTimes holds, per reconnect, the wall time from detecting the
+	// drop to running with a recovered connection.
+	RecoveryTimes []time.Duration
 }
 
 // asyncRecv is the handle returned by the non-blocking receive
@@ -69,6 +102,153 @@ type asyncRecv struct {
 	err chan error
 }
 
+// linkError marks a failure of the connection itself (a Recv that died),
+// as opposed to a protocol or decode error on a healthy link. Only link
+// errors trigger the reconnect path: redialling cannot fix a poison diff
+// or a codec mismatch, and would bury the root cause under "gave up after
+// N reconnect attempts".
+type linkError struct{ err error }
+
+func (e *linkError) Error() string { return fmt.Sprintf("core: connection failed: %v", e.err) }
+func (e *linkError) Unwrap() error { return e.err }
+
+// isLinkError reports whether err came from the transport rather than the
+// protocol.
+func isLinkError(err error) bool {
+	var le *linkError
+	return errors.As(err, &le)
+}
+
+// diffReceiver owns the dedicated receive goroutine of one connection. It
+// is pull-driven: the client queues an asyncRecv handle per expected diff,
+// and the goroutine decodes into it. stop is close-driven and
+// deterministic — it never leaves the goroutine parked in Recv.
+type diffReceiver struct {
+	conn transport.Conn
+	reqs chan asyncRecv
+	done chan struct{}
+}
+
+func (c *Client) startReceiver(conn transport.Conn) *diffReceiver {
+	r := &diffReceiver{conn: conn, reqs: make(chan asyncRecv, 1), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		for h := range r.reqs {
+			m, err := conn.Recv()
+			if err != nil {
+				h.err <- &linkError{err: err}
+				return
+			}
+			if m.Type != transport.MsgStudentDiff {
+				h.err <- fmt.Errorf("core: expected StudentDiff, got %v", m.Type)
+				return
+			}
+			d, err := c.decodeDiff(m.Body)
+			if err != nil {
+				h.err <- err
+				return
+			}
+			h.ch <- d
+		}
+	}()
+	return r
+}
+
+// stop shuts the receiver down deterministically. force closes the
+// connection, which unblocks an in-flight Recv; it must be set whenever a
+// handle may still be pending (the clean path drains first and keeps the
+// conn open for the Shutdown message).
+func (r *diffReceiver) stop(force bool) {
+	close(r.reqs)
+	if force {
+		r.conn.Close()
+	}
+	<-r.done
+}
+
+func (c *Client) decodeDiff(body []byte) (transport.StudentDiff, error) {
+	if c.DecodeDiff != nil {
+		return c.DecodeDiff(body)
+	}
+	return transport.DecodeStudentDiff(body)
+}
+
+// recovered is the hand-off from the background reconnect goroutine: a
+// fresh connection plus the state needed to catch the student up.
+type recovered struct {
+	conn    transport.Conn
+	epoch   uint64
+	headSeq uint64
+	diffs   []transport.StudentDiff // journal replay suffix, oldest first
+	full    []*nn.Parameter         // full checkpoint (ResumeFull or fresh fallback)
+	fresh   bool                    // recovered via a fresh Hello (new session)
+	session uint64                  // session ID when fresh
+	err     error                   // recovery gave up (or was cancelled)
+}
+
+// dialCanceler lets Run abort an in-flight recovery deterministically: it
+// interrupts backoff sleeps and closes whatever connection the recovery
+// goroutine currently holds.
+type dialCanceler struct {
+	mu      sync.Mutex
+	conn    transport.Conn
+	stopped bool
+	quit    chan struct{}
+}
+
+func newDialCanceler() *dialCanceler {
+	return &dialCanceler{quit: make(chan struct{})}
+}
+
+// adopt registers the recovery goroutine's current conn; false means the
+// run was cancelled and the caller must close the conn and bail.
+func (k *dialCanceler) adopt(conn transport.Conn) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.stopped {
+		return false
+	}
+	k.conn = conn
+	return true
+}
+
+func (k *dialCanceler) release() {
+	k.mu.Lock()
+	k.conn = nil
+	k.mu.Unlock()
+}
+
+func (k *dialCanceler) cancel() {
+	k.mu.Lock()
+	if !k.stopped {
+		k.stopped = true
+		close(k.quit)
+		if k.conn != nil {
+			k.conn.Close()
+		}
+	}
+	k.mu.Unlock()
+}
+
+// runState carries the per-Run session identity and connection machinery.
+type runState struct {
+	sessionID   uint64
+	epoch       uint64
+	lastApplied uint64 // highest student-diff Seq applied
+	kfSeq       uint64 // key-frame sequence counter
+	// initial carries the checkpoint of a quiet (recovery-path) handshake
+	// back to the main loop, which owns all weight mutation.
+	initial []*nn.Parameter
+
+	link     *diffReceiver
+	inflight *asyncRecv
+
+	recovering     chan recovered
+	recoverDone    chan struct{}
+	cancel         *dialCanceler
+	disconnectedAt time.Time
+}
+
 // Run executes the client loop over n frames from src. The student is
 // initialised from the server's MsgStudentFull, so callers may pass a
 // freshly constructed (untrained) student.
@@ -76,7 +256,232 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 	if err := c.Cfg.Validate(); err != nil {
 		return err
 	}
-	// Handshake.
+	rs := &runState{}
+	if err := c.handshake(conn, rs); err != nil {
+		return err
+	}
+	rs.link = c.startReceiver(conn)
+
+	// Deterministic teardown on every exit path: no receiver or recovery
+	// goroutine may outlive Run (asserted by TestClientLeavesNoGoroutines).
+	defer func() {
+		if rs.cancel != nil {
+			rs.cancel.cancel()
+		}
+		if rs.recoverDone != nil {
+			<-rs.recoverDone
+			select {
+			case r := <-rs.recovering:
+				if r.conn != nil {
+					r.conn.Close()
+				}
+			default:
+			}
+		}
+		if rs.link != nil {
+			rs.link.stop(rs.inflight != nil)
+			rs.link = nil
+		}
+	}()
+
+	cm := metrics.NewConfusionMatrix(c.Student.Config.NumClasses)
+	start := time.Now()
+	stride := float64(c.Cfg.MinStride)
+	step := c.Cfg.MinStride // first frame is a key frame
+	updated := true
+
+	// tryApply checks the in-flight receive; block=true waits for it
+	// (WaitUntilComplete). On success the diff is applied and the handle
+	// cleared.
+	tryApply := func(block bool) error {
+		if rs.inflight == nil {
+			return nil
+		}
+		if block {
+			select {
+			case d := <-rs.inflight.ch:
+				rs.inflight = nil
+				return c.apply(rs, d, &stride, &updated)
+			case err := <-rs.inflight.err:
+				return err
+			}
+		}
+		select {
+		case d := <-rs.inflight.ch:
+			rs.inflight = nil
+			return c.apply(rs, d, &stride, &updated)
+		case err := <-rs.inflight.err:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	// drop tears the dead link down and, when a Dial callback is
+	// installed, starts the background recovery; without one it returns
+	// the fatal cause (the legacy contract).
+	drop := func(cause error) error {
+		if rs.link != nil {
+			rs.link.stop(true)
+			rs.link = nil
+		}
+		rs.inflight = nil
+		if c.Dial == nil {
+			return cause
+		}
+		rs.disconnectedAt = time.Now()
+		rs.recovering = make(chan recovered, 1)
+		rs.recoverDone = make(chan struct{})
+		rs.cancel = newDialCanceler()
+		go c.recover(rs.sessionID, rs.epoch, rs.lastApplied, rs.recovering, rs.recoverDone, rs.cancel)
+		return nil
+	}
+
+	// applyRecovery installs a recovered connection: catches the student
+	// up (replay suffix or full checkpoint), restarts the receiver and
+	// clears the outage.
+	applyRecovery := func(r recovered) error {
+		if r.err != nil {
+			return r.err
+		}
+		if r.fresh {
+			rs.sessionID = r.session
+			c.Result.SessionID = r.session
+			rs.lastApplied = 0
+			rs.kfSeq = 0 // a fresh session numbers key frames from 1 again
+		}
+		rs.epoch = r.epoch
+		if r.full != nil {
+			if err := nn.ApplyNamed(c.Student.Params, r.full); err != nil {
+				r.conn.Close()
+				return err
+			}
+			rs.lastApplied = r.headSeq
+			c.Result.FullResends++
+		} else {
+			for _, d := range r.diffs {
+				if err := c.apply(rs, d, &stride, &updated); err != nil {
+					r.conn.Close()
+					return err
+				}
+			}
+			if r.headSeq > rs.lastApplied {
+				rs.lastApplied = r.headSeq
+			}
+			c.Result.ResumeReplays++
+		}
+		updated = true // nothing outstanding on the new connection
+		c.Result.Reconnects++
+		c.Result.RecoveryTimes = append(c.Result.RecoveryTimes, time.Since(rs.disconnectedAt))
+		rs.link = c.startReceiver(r.conn)
+		rs.recovering = nil
+		rs.recoverDone = nil
+		rs.cancel = nil
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		var frameStart time.Time
+		if c.TrackLatency {
+			frameStart = time.Now()
+		}
+		frame := src.Next()
+
+		if rs.recovering != nil {
+			select {
+			case r := <-rs.recovering:
+				<-rs.recoverDone
+				if err := applyRecovery(r); err != nil {
+					return err
+				}
+			default:
+			}
+		}
+
+		if step >= int(stride+0.5) && rs.link != nil { // key frame
+			rs.kfSeq++
+			kf := transport.KeyFrame{
+				FrameIndex: uint32(frame.Index),
+				Image:      frame.Image,
+				Label:      frame.Label,
+				Seq:        rs.kfSeq,
+			}
+			err := rs.link.conn.Send(transport.Message{Type: transport.MsgKeyFrame, Body: transport.EncodeKeyFrame(kf)})
+			if err != nil {
+				if err := drop(fmt.Errorf("core: sending key frame: %w", err)); err != nil {
+					return err
+				}
+			} else {
+				c.Result.KeyFrames++
+				h := asyncRecv{ch: make(chan transport.StudentDiff, 1), err: make(chan error, 1)}
+				rs.link.reqs <- h
+				rs.inflight = &h
+				step = 0
+				updated = false
+			}
+		}
+
+		mask, _ := c.Student.Infer(frame.Image)
+		step++
+		if rs.link == nil {
+			c.Result.StaleFrames++
+		}
+
+		if c.EvalTeacher != nil && (c.EvalEvery <= 1 || i%c.EvalEvery == 0) {
+			cm.Add(mask, c.EvalTeacher.Infer(frame))
+			c.Result.EvalFrames++
+		}
+
+		if !updated && rs.inflight != nil {
+			// WaitUntilComplete at MIN_STRIDE; opportunistic otherwise
+			// (Algorithm 4 lines 14–22). Only a dead link is recoverable;
+			// a decode or apply failure on a healthy connection is a
+			// protocol bug that redialling cannot fix.
+			if err := tryApply(step == c.Cfg.MinStride); err != nil {
+				if !isLinkError(err) {
+					return err
+				}
+				if err := drop(err); err != nil {
+					return err
+				}
+			}
+		}
+		if c.TrackLatency {
+			c.Result.FrameLatencies = append(c.Result.FrameLatencies, time.Since(frameStart))
+		}
+	}
+
+	// Teardown: drain any outstanding update so the receiver goroutine can
+	// exit cleanly, then say goodbye. An outage at this point is simply
+	// abandoned when the session is resumable — there are no frames left
+	// to serve (the deferred cleanup cancels the recovery goroutine); the
+	// legacy fail-fast contract (no Dial) still surfaces the error, as do
+	// protocol failures on a healthy link.
+	if rs.link != nil {
+		if err := tryApply(true); err != nil {
+			rs.link.stop(true)
+			rs.link = nil
+			rs.inflight = nil
+			if c.Dial == nil || !isLinkError(err) {
+				return err
+			}
+		} else {
+			_ = rs.link.conn.Send(transport.Message{Type: transport.MsgShutdown})
+			rs.link.stop(false)
+			rs.link = nil
+		}
+	}
+
+	c.Result.Frames = n
+	c.Result.Elapsed = time.Since(start)
+	c.Result.MeanIoU = cm.MeanIoU()
+	c.Result.StrideTrace = append([]float64(nil), c.strides...)
+	return nil
+}
+
+// handshake performs the fresh Hello handshake on conn and applies the
+// initial checkpoint.
+func (c *Client) handshake(conn transport.Conn, rs *runState) error {
 	hello := transport.Hello{
 		Version:   transport.Version,
 		NumClass:  uint16(c.Student.Config.NumClasses),
@@ -97,6 +502,8 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 	if err != nil {
 		return err
 	}
+	rs.sessionID = ack.SessionID
+	rs.epoch = ack.Epoch
 	c.Result.SessionID = ack.SessionID
 	m, err = conn.Recv()
 	if err != nil {
@@ -113,138 +520,219 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 		return err
 	}
 	c.Student.SetPartial(c.Cfg.Partial)
-
-	// Dedicated receiver goroutine: decodes StudentDiff messages and hands
-	// them to the pending asyncRecv handle.
-	recvQ := make(chan asyncRecv, 1)
-	recvDone := make(chan error, 1)
-	go func() {
-		for {
-			h, ok := <-recvQ
-			if !ok {
-				recvDone <- nil
-				return
-			}
-			m, err := conn.Recv()
-			if err != nil {
-				h.err <- err
-				recvDone <- err
-				return
-			}
-			if m.Type != transport.MsgStudentDiff {
-				h.err <- fmt.Errorf("core: expected StudentDiff, got %v", m.Type)
-				recvDone <- nil
-				return
-			}
-			decode := transport.DecodeStudentDiff
-			if c.DecodeDiff != nil {
-				decode = c.DecodeDiff
-			}
-			d, err := decode(m.Body)
-			if err != nil {
-				h.err <- err
-				recvDone <- nil
-				return
-			}
-			h.ch <- d
-		}
-	}()
-	defer func() {
-		close(recvQ)
-		<-recvDone
-	}()
-
-	cm := metrics.NewConfusionMatrix(c.Student.Config.NumClasses)
-	start := time.Now()
-	stride := float64(c.Cfg.MinStride)
-	step := c.Cfg.MinStride // first frame is a key frame
-	updated := true
-	var inflight *asyncRecv
-
-	// tryApply checks the in-flight receive; block=true waits for it
-	// (WaitUntilComplete). On success the diff is applied and the handle
-	// cleared.
-	tryApply := func(block bool) error {
-		if inflight == nil {
-			return nil
-		}
-		if block {
-			select {
-			case d := <-inflight.ch:
-				inflight = nil
-				return c.apply(d, &stride, &updated)
-			case err := <-inflight.err:
-				return err
-			}
-		}
-		select {
-		case d := <-inflight.ch:
-			inflight = nil
-			return c.apply(d, &stride, &updated)
-		case err := <-inflight.err:
-			return err
-		default:
-			return nil
-		}
-	}
-
-	for i := 0; i < n; i++ {
-		var frameStart time.Time
-		if c.TrackLatency {
-			frameStart = time.Now()
-		}
-		frame := src.Next()
-		if step >= int(stride+0.5) { // key frame
-			c.Result.KeyFrames++
-			kf := transport.KeyFrame{FrameIndex: uint32(frame.Index), Image: frame.Image, Label: frame.Label}
-			if err := conn.Send(transport.Message{Type: transport.MsgKeyFrame, Body: transport.EncodeKeyFrame(kf)}); err != nil {
-				return fmt.Errorf("core: sending key frame: %w", err)
-			}
-			h := asyncRecv{ch: make(chan transport.StudentDiff, 1), err: make(chan error, 1)}
-			recvQ <- h
-			inflight = &h
-			step = 0
-			updated = false
-		}
-
-		mask, _ := c.Student.Infer(frame.Image)
-		step++
-
-		if c.EvalTeacher != nil && (c.EvalEvery <= 1 || i%c.EvalEvery == 0) {
-			cm.Add(mask, c.EvalTeacher.Infer(frame))
-			c.Result.EvalFrames++
-		}
-
-		if !updated && inflight != nil {
-			// WaitUntilComplete at MIN_STRIDE; opportunistic otherwise
-			// (Algorithm 4 lines 14–22).
-			if err := tryApply(step == c.Cfg.MinStride); err != nil {
-				return err
-			}
-		}
-		if c.TrackLatency {
-			c.Result.FrameLatencies = append(c.Result.FrameLatencies, time.Since(frameStart))
-		}
-	}
-	// Drain any outstanding update so the receiver goroutine can exit.
-	if err := tryApply(true); err != nil {
-		return err
-	}
-	_ = conn.Send(transport.Message{Type: transport.MsgShutdown})
-
-	c.Result.Frames = n
-	c.Result.Elapsed = time.Since(start)
-	c.Result.MeanIoU = cm.MeanIoU()
-	c.Result.StrideTrace = append([]float64(nil), c.strides...)
 	return nil
 }
 
-func (c *Client) apply(d transport.StudentDiff, stride *float64, updated *bool) error {
+func (c *Client) apply(rs *runState, d transport.StudentDiff, stride *float64, updated *bool) error {
+	if d.Seq != 0 && d.Seq <= rs.lastApplied {
+		// Duplicate delivery (a replay overlapping an applied diff): the
+		// weights are already current; don't double-count the stride.
+		*updated = true
+		return nil
+	}
 	if err := nn.ApplyNamed(c.Student.Params, d.Params); err != nil {
 		return err
+	}
+	if d.Seq != 0 {
+		rs.lastApplied = d.Seq
 	}
 	*stride = NextStride(c.Cfg, *stride, d.Metric)
 	c.strides = append(c.strides, *stride)
 	*updated = true
+	return nil
+}
+
+// maxResumeBackoff caps the exponential redial delay.
+const maxResumeBackoff = time.Second
+
+// recover is the background reconnect loop of one outage. It owns no
+// client state: it works from the (sessionID, epoch, lastApplied) snapshot
+// taken at drop time and hands everything needed to catch up — connection,
+// replayed diffs or checkpoint, new epoch — back through out. cancel
+// closes whatever connection it currently holds, making Run's teardown
+// deterministic even mid-recovery.
+func (c *Client) recover(sessionID, epoch, lastApplied uint64, out chan<- recovered, done chan<- struct{}, cancel *dialCanceler) {
+	defer close(done)
+	attempts := c.MaxResumeAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	backoff := c.ResumeBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	fresh := sessionID == 0 // a session the server never named cannot resume
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		select {
+		case <-time.After(backoff):
+		case <-cancel.quit:
+			out <- recovered{err: fmt.Errorf("core: recovery cancelled")}
+			return
+		}
+		if backoff *= 2; backoff > maxResumeBackoff {
+			backoff = maxResumeBackoff
+		}
+		conn, err := c.Dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !cancel.adopt(conn) {
+			conn.Close()
+			out <- recovered{err: fmt.Errorf("core: recovery cancelled")}
+			return
+		}
+		r, err := c.attemptRecovery(conn, sessionID, epoch, lastApplied, fresh)
+		cancel.release()
+		if err == nil {
+			out <- r
+			return
+		}
+		conn.Close()
+		lastErr = err
+		if permanentResumeReject(err) {
+			// The server forgot the session (TTL eviction, restart):
+			// resuming will never work, fall back to a fresh handshake.
+			fresh = true
+		}
+	}
+	out <- recovered{err: fmt.Errorf("core: client gave up after %d reconnect attempts: %w", attempts, lastErr)}
+}
+
+// errPermanentReject marks resume rejections that will not heal with a
+// retry.
+type errPermanentReject struct{ reason string }
+
+func (e errPermanentReject) Error() string {
+	return fmt.Sprintf("core: resume rejected: %s", e.reason)
+}
+
+func permanentResumeReject(err error) bool {
+	_, ok := err.(errPermanentReject)
+	return ok
+}
+
+// maxReplayDiffs bounds how many replayed diffs a client will accept in
+// one resume — journals are bounded server-side, so anything larger is a
+// protocol error, not a backlog.
+const maxReplayDiffs = 4096
+
+// attemptRecovery runs one Resume (or fresh Hello) handshake on conn. On
+// error the caller owns closing conn.
+func (c *Client) attemptRecovery(conn transport.Conn, sessionID, epoch, lastApplied uint64, fresh bool) (recovered, error) {
+	if fresh {
+		return c.freshRecovery(conn)
+	}
+	req := transport.Resume{SessionID: sessionID, Epoch: epoch, LastDiffSeq: lastApplied}
+	if err := conn.Send(transport.Message{Type: transport.MsgResume, Body: transport.EncodeResume(req)}); err != nil {
+		return recovered{}, fmt.Errorf("core: sending resume: %w", err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return recovered{}, fmt.Errorf("core: resume ack recv: %w", err)
+	}
+	if m.Type != transport.MsgResumeAck {
+		return recovered{}, fmt.Errorf("core: expected ResumeAck, got %v", m.Type)
+	}
+	ack, err := transport.DecodeResumeAck(m.Body)
+	if err != nil {
+		return recovered{}, err
+	}
+	switch ack.Status {
+	case transport.ResumeRetry:
+		return recovered{}, fmt.Errorf("core: resume deferred: %s", ack.Reason)
+	case transport.ResumeReject:
+		return recovered{}, errPermanentReject{reason: ack.Reason}
+	case transport.ResumeFull:
+		m, err := conn.Recv()
+		if err != nil {
+			return recovered{}, fmt.Errorf("core: resume checkpoint recv: %w", err)
+		}
+		if m.Type != transport.MsgStudentFull {
+			return recovered{}, fmt.Errorf("core: expected StudentFull, got %v", m.Type)
+		}
+		params, err := nn.ReadNamed(bytes.NewReader(m.Body))
+		if err != nil {
+			return recovered{}, err
+		}
+		return recovered{conn: conn, epoch: ack.Epoch, headSeq: ack.HeadSeq, full: params}, nil
+	case transport.ResumeReplay:
+		if ack.NumDiffs > maxReplayDiffs {
+			return recovered{}, fmt.Errorf("core: implausible replay of %d diffs", ack.NumDiffs)
+		}
+		diffs := make([]transport.StudentDiff, 0, ack.NumDiffs)
+		for i := 0; i < int(ack.NumDiffs); i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				return recovered{}, fmt.Errorf("core: replay diff recv: %w", err)
+			}
+			if m.Type != transport.MsgStudentDiff {
+				return recovered{}, fmt.Errorf("core: expected replayed StudentDiff, got %v", m.Type)
+			}
+			d, err := c.decodeDiff(m.Body)
+			if err != nil {
+				return recovered{}, err
+			}
+			diffs = append(diffs, d)
+		}
+		return recovered{conn: conn, epoch: ack.Epoch, headSeq: ack.HeadSeq, diffs: diffs}, nil
+	}
+	return recovered{}, fmt.Errorf("core: unexpected resume status %v", ack.Status)
+}
+
+// freshRecovery falls back to a brand-new session on conn: full Hello
+// handshake, new ID, new checkpoint.
+func (c *Client) freshRecovery(conn transport.Conn) (recovered, error) {
+	rs := &runState{}
+	if err := c.handshakeQuiet(conn, rs); err != nil {
+		return recovered{}, err
+	}
+	return recovered{
+		conn:    conn,
+		epoch:   rs.epoch,
+		session: rs.sessionID,
+		full:    rs.initial,
+		fresh:   true,
+	}, nil
+}
+
+// handshakeQuiet is handshake without mutating the student or Result: the
+// checkpoint is handed back through rs.initial so the main loop applies it
+// (weight mutation stays single-goroutine).
+func (c *Client) handshakeQuiet(conn transport.Conn, rs *runState) error {
+	hello := transport.Hello{
+		Version:  transport.Version,
+		NumClass: uint16(c.Student.Config.NumClasses),
+		Partial:  c.Cfg.Partial,
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(hello)}); err != nil {
+		return fmt.Errorf("core: client re-hello: %w", err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: re-hello ack recv: %w", err)
+	}
+	if m.Type != transport.MsgHello {
+		return fmt.Errorf("core: expected Hello ack, got %v", m.Type)
+	}
+	ack, err := transport.DecodeHello(m.Body)
+	if err != nil {
+		return err
+	}
+	rs.sessionID = ack.SessionID
+	rs.epoch = ack.Epoch
+	m, err = conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: re-handshake student recv: %w", err)
+	}
+	if m.Type != transport.MsgStudentFull {
+		return fmt.Errorf("core: expected StudentFull, got %v", m.Type)
+	}
+	params, err := nn.ReadNamed(bytes.NewReader(m.Body))
+	if err != nil {
+		return err
+	}
+	rs.initial = params
 	return nil
 }

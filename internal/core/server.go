@@ -12,6 +12,20 @@ import (
 	"repro/internal/video"
 )
 
+// ErrConnLost reports that a session's connection dropped mid-protocol
+// (EOF, a reset, a failed send) as opposed to ending with a Shutdown
+// message or a protocol violation. A session manager (internal/serve)
+// detaches the session state for later resumption when Loop returns it;
+// protocol violations never detach — a hostile client must not pin server
+// memory.
+var ErrConnLost = errors.New("core: connection lost")
+
+// connLost wraps a transport-level failure so callers can both read the
+// operation that failed and detect the class with errors.Is(ErrConnLost).
+func connLost(op string, err error) error {
+	return fmt.Errorf("core: %s: %w: %w", op, ErrConnLost, err)
+}
+
 // Server implements Algorithm 3 over a transport.Conn: ship the initial
 // student, then loop — receive a key frame, run teacher inference, distil
 // into the server-side student copy, and return the updated (trainable)
@@ -21,15 +35,30 @@ type Server struct {
 	Teacher   teacher.Teacher
 	Distiller *Distiller
 	// AssignSession, when non-nil, is consulted during Handshake with the
-	// client's Hello and returns the session ID to acknowledge — a session
-	// manager (internal/serve) registers the session here. Nil echoes the
-	// client's requested ID.
-	AssignSession func(transport.Hello) (uint64, error)
+	// client's Hello and returns the session ID and epoch to acknowledge —
+	// a session manager (internal/serve) registers the session here. Nil
+	// echoes the client's requested ID with epoch zero.
+	AssignSession func(transport.Hello) (id, epoch uint64, err error)
 	// EncodeDiff, when non-nil, replaces transport.EncodeStudentDiff for
 	// outgoing updates — the hook through which a harness installs a
 	// compression codec (internal/compress) on the diff path. The client
 	// must decode with a matching Client.DecodeDiff.
 	EncodeDiff func(transport.StudentDiff) ([]byte, error)
+	// OnDiff, when non-nil, observes every encoded diff just before it is
+	// sent — the resume journal hook (internal/serve appends the body to
+	// the session's journal so a reconnecting client can replay it). The
+	// body must not be reused by the observer's peer; Loop passes each
+	// freshly encoded buffer.
+	OnDiff func(seq uint64, body []byte)
+
+	// DiffSeq is the sequence number of the last student diff produced
+	// (diffs are numbered 1, 2, …). It survives a detach/resume cycle with
+	// the rest of the server state.
+	DiffSeq uint64
+	// LastKFSeq is the highest key-frame sequence received; Loop rejects a
+	// non-increasing sequence as a confused resume (a client that
+	// re-attached to the wrong session state).
+	LastKFSeq uint64
 }
 
 // NewServer builds a server around a student copy and a teacher.
@@ -38,12 +67,19 @@ func NewServer(cfg Config, student *nn.Student, tch teacher.Teacher) *Server {
 }
 
 // Serve runs the protocol until the client shuts down or the connection
-// drops. It returns nil on clean shutdown.
+// drops. It returns nil on clean shutdown; a vanished client also reports
+// as clean — the single-connection contract predating session resumption.
+// Managers that park sessions for resumption call Handshake/Loop directly
+// and inspect ErrConnLost.
 func (s *Server) Serve(conn transport.Conn) error {
 	if _, err := s.Handshake(conn); err != nil {
 		return err
 	}
-	return s.Loop(conn)
+	err := s.Loop(conn)
+	if errors.Is(err, ErrConnLost) {
+		return nil
+	}
+	return err
 }
 
 // Handshake runs the session-establishment half of Algorithm 3: it receives
@@ -57,6 +93,13 @@ func (s *Server) Handshake(conn transport.Conn) (transport.Hello, error) {
 	if err != nil {
 		return transport.Hello{}, fmt.Errorf("core: server handshake recv: %w", err)
 	}
+	return s.HandshakeWith(conn, m)
+}
+
+// HandshakeWith is Handshake over an already-received first message — a
+// session manager that peeks at the first frame to route between fresh
+// Hello and Resume handshakes hands the Hello here.
+func (s *Server) HandshakeWith(conn transport.Conn, m transport.Message) (transport.Hello, error) {
 	if m.Type != transport.MsgHello {
 		return transport.Hello{}, fmt.Errorf("core: expected Hello, got %v", m.Type)
 	}
@@ -68,11 +111,12 @@ func (s *Server) Handshake(conn transport.Conn) (transport.Hello, error) {
 		return transport.Hello{}, fmt.Errorf("core: protocol version mismatch: client %d, server %d", hello.Version, transport.Version)
 	}
 	if s.AssignSession != nil {
-		id, err := s.AssignSession(hello)
+		id, epoch, err := s.AssignSession(hello)
 		if err != nil {
 			return transport.Hello{}, err
 		}
 		hello.SessionID = id
+		hello.Epoch = epoch
 	}
 
 	ack := transport.Hello{
@@ -80,6 +124,7 @@ func (s *Server) Handshake(conn transport.Conn) (transport.Hello, error) {
 		NumClass:  uint16(s.Distiller.Student.Config.NumClasses),
 		Partial:   s.Cfg.Partial,
 		SessionID: hello.SessionID,
+		Epoch:     hello.Epoch,
 	}
 	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(ack)}); err != nil {
 		return transport.Hello{}, fmt.Errorf("core: sending hello ack: %w", err)
@@ -97,14 +142,19 @@ func (s *Server) Handshake(conn transport.Conn) (transport.Hello, error) {
 // Loop runs the steady-state half of Algorithm 3 (lines 2–7): receive a key
 // frame, teacher-infer, distil, reply with the trainable diff — until
 // shutdown or connection loss. Handshake must have completed first.
+//
+// A connection-level failure (EOF, reset, failed send) returns an error
+// wrapping ErrConnLost: the session state is intact and resumable.
+// Protocol violations (bad decode, malformed label, non-monotonic key
+// frame) return plain errors — they terminate the session for good.
 func (s *Server) Loop(conn transport.Conn) error {
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
-				return nil
+				return ErrConnLost
 			}
-			return fmt.Errorf("core: server recv: %w", err)
+			return connLost("server recv", err)
 		}
 		switch m.Type {
 		case transport.MsgShutdown:
@@ -114,11 +164,17 @@ func (s *Server) Loop(conn transport.Conn) error {
 			if err != nil {
 				return err
 			}
+			if kf.Seq != 0 && kf.Seq <= s.LastKFSeq {
+				return fmt.Errorf("core: key frame seq %d not after %d (replayed or cross-session stream)", kf.Seq, s.LastKFSeq)
+			}
 			if err := validateLabel(kf.Label, kf.Image, s.Distiller.Student.Config.NumClasses); err != nil {
 				return err
 			}
 			if err := requireLabel(kf.Label, s.Teacher); err != nil {
 				return err
+			}
+			if kf.Seq != 0 {
+				s.LastKFSeq = kf.Seq
 			}
 			frame := video.Frame{Index: int(kf.FrameIndex), Image: kf.Image, Label: kf.Label}
 			label := s.Teacher.Infer(frame)
@@ -127,6 +183,7 @@ func (s *Server) Loop(conn transport.Conn) error {
 				FrameIndex: kf.FrameIndex,
 				Metric:     tr.Metric,
 				Params:     nn.TrainableSubset(s.Distiller.Student.Params),
+				Seq:        s.DiffSeq + 1,
 			}
 			encode := transport.EncodeStudentDiff
 			if s.EncodeDiff != nil {
@@ -136,8 +193,15 @@ func (s *Server) Loop(conn transport.Conn) error {
 			if err != nil {
 				return err
 			}
+			// Journal before sending: when the send fails mid-flight the
+			// client may or may not have applied the diff, and only the
+			// journal entry lets the resume replay disambiguate by Seq.
+			s.DiffSeq = diff.Seq
+			if s.OnDiff != nil {
+				s.OnDiff(diff.Seq, body)
+			}
 			if err := conn.Send(transport.Message{Type: transport.MsgStudentDiff, Body: body}); err != nil {
-				return fmt.Errorf("core: sending student diff: %w", err)
+				return connLost("sending student diff", err)
 			}
 		default:
 			return fmt.Errorf("core: server: unexpected message %v", m.Type)

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// Chaos scenarios script mid-stream connection faults at exact wire
+// offsets and measure the resilience subsystem end to end: reconnect
+// count, journal-replay vs full-checkpoint recoveries, recovery latency,
+// frames inferred on stale weights, and the accuracy cost against a
+// fault-free twin run. The offsets are computed from the protocol's
+// deterministic message sizes, so a "cut in the middle of the second
+// student diff" is the same byte on every machine.
+
+// wireSizes returns the deterministic server→client message sizes (with
+// framing) of the default-architecture student under partial
+// distillation: the Hello ack, the full checkpoint, and one raw student
+// diff.
+func wireSizes() (helloAck, fullMsg, diffMsg int64) {
+	st := nn.NewStudentForWire()
+	st.SetPartial(true)
+	helloAck = transport.FrameOverhead + int64(len(transport.EncodeHello(transport.Hello{})))
+	fullMsg = transport.FrameOverhead + int64(nn.EncodedSize(st.Params.All()))
+	// A raw diff body is FrameIndex (4) + Metric (8) + the trainable
+	// subset + Seq (8); see transport.EncodeStudentDiff.
+	diffMsg = transport.FrameOverhead + 4 + 8 + int64(nn.EncodedSize(nn.TrainableSubset(st.Params))) + 8
+	return
+}
+
+// keyFrameUploadBytes is the full client→server wire cost of one key frame
+// (framing + body + the oracle label side-channel).
+func keyFrameUploadBytes() int64 {
+	img := tensor.New(3, video.DefaultH, video.DefaultW)
+	return transport.FrameOverhead +
+		int64(transport.KeyFrameWireBytes(transport.KeyFrame{Image: img})) +
+		int64(4*video.DefaultH*video.DefaultW)
+}
+
+// dropMidstreamCuts scripts two download-direction cuts: the first severs
+// the initial connection in the middle of the second student diff (the
+// client has applied diff 1, diff 2 is journaled but lost in flight — a
+// genuine journal replay), the second severs the resumed connection
+// mid-diff again a couple of updates later.
+func dropMidstreamCuts() []int64 {
+	helloAck, fullMsg, diffMsg := wireSizes()
+	const resumeAckMsg = transport.FrameOverhead + 23 // status+epoch+head+count+reason-len
+	return []int64{
+		helloAck + fullMsg + diffMsg + diffMsg/2,
+		resumeAckMsg + 2*diffMsg + diffMsg/2,
+	}
+}
+
+// runChaosWithBaseline runs the spec as given, then its fault-free twin,
+// and reports the faulty run annotated with the accuracy delta.
+func runChaosWithBaseline(spec Spec) ([]Metrics, error) {
+	faulty, err := Drive("", "", spec)
+	if err != nil {
+		return nil, err
+	}
+	clean := spec
+	clean.ChaosCuts = nil
+	clean.ChaosStall = 0
+	cleanM, err := Drive("", "", clean)
+	if err != nil {
+		return nil, err
+	}
+	faulty.MIoUDeltaPct = 100 * (faulty.MeanIoU - cleanM.MeanIoU)
+	if faulty.Extra == nil {
+		faulty.Extra = map[string]float64{}
+	}
+	faulty.Extra["clean_miou"] = cleanM.MeanIoU
+	return []Metrics{faulty}, nil
+}
+
+// The chaos catalogue. chaos/drop-midstream is the bench-gate scenario:
+// its acceptance contract (2 reconnects, ≤1 full resend, mIoU within 2
+// percentage points of the clean twin) is asserted by TestChaosDropMidstream
+// and gated in CI via ci/bench_baseline.json.
+func init() {
+	Register(Scenario{
+		Name: "chaos/drop-midstream",
+		Desc: "2 mid-diff connection cuts on the drone stream; resume via journal replay",
+		Spec: Spec{
+			Workload:     "drone",
+			Clients:      1,
+			Frames:       220,
+			ChaosCuts:    dropMidstreamCuts(),
+			ChaosDownCut: true,
+		},
+		Run: runChaosWithBaseline,
+	})
+	Register(Scenario{
+		Name: "chaos/stall-midstream",
+		Desc: "two 150ms link stalls mid-upload; latency spikes without connection loss",
+		Spec: Spec{
+			Workload:   "drone",
+			Clients:    1,
+			Frames:     200,
+			ChaosCuts:  []int64{2 * keyFrameUploadBytes(), 5 * keyFrameUploadBytes()},
+			ChaosStall: 150 * time.Millisecond,
+		},
+	})
+	Register(Scenario{
+		Name: "soak/chaos-churn",
+		Desc: "nightly: 4 clients × 400 frames with repeated mid-stream drops, run under -race",
+		Spec: Spec{
+			Workload:     "mixed",
+			Clients:      4,
+			Frames:       400,
+			ChaosCuts:    dropMidstreamCuts(),
+			ChaosDownCut: true,
+		},
+		Run: runChaosWithBaseline,
+	})
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChaosDropMidstream is the acceptance contract of the resilience
+// subsystem at scenario scale: the registered chaos/drop-midstream run —
+// two scripted mid-stream connection cuts — must recover both drops
+// through the Resume handshake with at most one full-student retransfer
+// (journal replay carries the rest), and land within 2 percentage points
+// of the fault-free twin's mIoU.
+func TestChaosDropMidstream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenario run is a full end-to-end measurement")
+	}
+	scs, err := Match("chaos/drop-midstream")
+	if err != nil || len(scs) != 1 {
+		t.Fatalf("scenario lookup: %v (%d matches)", err, len(scs))
+	}
+	// The registered smoke size: both cuts land early (byte offsets
+	// around the second and fifth student diffs), leaving plenty of
+	// post-recovery frames to amortise the accuracy dent.
+	ms, err := RunScenario(scs[0], Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("got %d metric rows, want 1", len(ms))
+	}
+	m := ms[0]
+
+	if m.Reconnects != 2 {
+		t.Errorf("reconnects = %d, want exactly 2 (one per scripted cut)", m.Reconnects)
+	}
+	if m.FullResends > 1 {
+		t.Errorf("full_resends = %d, want <= 1", m.FullResends)
+	}
+	if m.ResumeReplays < 1 {
+		t.Errorf("resume_replays = %d, want >= 1 (journal replay must carry a recovery)", m.ResumeReplays)
+	}
+	if m.StaleFrames == 0 {
+		t.Error("stale_frames = 0: the client must keep inferring while disconnected")
+	}
+	if m.RecoveryMeanMS <= 0 {
+		t.Error("recovery latency must be measured")
+	}
+	if math.Abs(m.MIoUDeltaPct) > 2.0 {
+		t.Errorf("mIoU delta vs fault-free run = %.2f pp, want within 2pp (faulty %.4f, clean %.4f)",
+			m.MIoUDeltaPct, m.MeanIoU, m.Extra["clean_miou"])
+	}
+	if m.MeanIoU <= 0 {
+		t.Error("faulty run must still measure accuracy")
+	}
+	t.Logf("chaos/drop-midstream: reconnects=%d replays=%d fulls=%d stale=%d recovery=%.1fms ΔmIoU=%.2fpp",
+		m.Reconnects, m.ResumeReplays, m.FullResends, m.StaleFrames, m.RecoveryMeanMS, m.MIoUDeltaPct)
+}

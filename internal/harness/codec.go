@@ -14,9 +14,11 @@ import (
 // Codec-framed student diffs: the scenario layer installs a compress.Codec
 // on the server → client update path (core.Server.EncodeDiff /
 // core.Client.DecodeDiff) so the §8 model-compression codecs run on the
-// live wire, not just offline. The frame is FrameIndex, Metric, a
-// length-prefixed codec name (self-describing, so a mismatched client fails
-// loudly) and the codec payload.
+// live wire, not just offline. The frame is FrameIndex, Metric, Seq (the
+// resume-protocol sequence number — codec frames must round-trip it or
+// journal replay dedup breaks), a length-prefixed codec name
+// (self-describing, so a mismatched client fails loudly) and the codec
+// payload.
 
 // DiffEncoder returns a core.Server.EncodeDiff implementation over c.
 func DiffEncoder(c compress.Codec) func(transport.StudentDiff) ([]byte, error) {
@@ -24,6 +26,7 @@ func DiffEncoder(c compress.Codec) func(transport.StudentDiff) ([]byte, error) {
 		var buf bytes.Buffer
 		binary.Write(&buf, binary.LittleEndian, d.FrameIndex)
 		binary.Write(&buf, binary.LittleEndian, math.Float64bits(d.Metric))
+		binary.Write(&buf, binary.LittleEndian, d.Seq)
 		name := c.Name()
 		if len(name) > 255 {
 			return nil, fmt.Errorf("harness: codec name %q too long", name)
@@ -50,6 +53,9 @@ func DiffDecoder(c compress.Codec) func([]byte) (transport.StudentDiff, error) {
 			return d, fmt.Errorf("harness: diff metric: %w", err)
 		}
 		d.Metric = math.Float64frombits(bits)
+		if err := binary.Read(r, binary.LittleEndian, &d.Seq); err != nil {
+			return d, fmt.Errorf("harness: diff seq: %w", err)
+		}
 		n, err := r.ReadByte()
 		if err != nil {
 			return d, fmt.Errorf("harness: diff codec name length: %w", err)

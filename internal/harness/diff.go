@@ -66,6 +66,19 @@ var DefaultChecks = map[string]Check{
 	"distill_allocs_per_step": {LowerBetter, 0.35},
 	"teacher_mean_batch":      {Informational, 0},
 	"wall_seconds":            {Informational, 0},
+
+	// Resilience metrics (chaos families). Reconnects is deterministic —
+	// it equals the scripted fault count, so any drift is a bug. Replay
+	// and full-resend counts are small integers; a doubling (e.g. replay
+	// resumes silently degrading to full checkpoints) trips the gate.
+	// Recovery latency, stale-frame counts and the mIoU delta are
+	// machine-speed-dependent, so they only note drift.
+	"reconnects":       {BothWays, 0},
+	"resume_replays":   {BothWays, 0.9},
+	"full_resends":     {BothWays, 0.9},
+	"stale_frames":     {Informational, 0},
+	"recovery_mean_ms": {Informational, 0},
+	"miou_delta_pct":   {Informational, 0},
 }
 
 // Regression is one failed gate.
@@ -101,6 +114,12 @@ func metricValues(m Metrics) map[string]float64 {
 		"mean_distill_steps":      m.MeanDistillSteps,
 		"distill_step_ms":         m.DistillStepMS,
 		"distill_allocs_per_step": m.DistillAllocsPerStep,
+		"reconnects":              float64(m.Reconnects),
+		"resume_replays":          float64(m.ResumeReplays),
+		"full_resends":            float64(m.FullResends),
+		"stale_frames":            float64(m.StaleFrames),
+		"recovery_mean_ms":        m.RecoveryMeanMS,
+		"miou_delta_pct":          m.MIoUDeltaPct,
 	}
 	for k, v := range m.Extra {
 		out["extra."+k] = v

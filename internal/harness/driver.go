@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -47,6 +48,57 @@ func workloadConfig(spec Spec, client int) (video.Config, error) {
 func localKeyFrameBytes() int {
 	img := tensor.New(3, video.DefaultH, video.DefaultW)
 	return transport.KeyFrameWireBytes(transport.KeyFrame{Image: img})
+}
+
+// clientDialer returns the dial function of one client: loopback TCP,
+// optionally fault-scripted (chaos), then throttled or trace-shaped. The
+// attempt counter makes a client's i-th (re)connection pick up
+// ChaosCuts[i]; connections past the script run clean. The counter needs
+// no lock — a client dials sequentially (initial connect, then one
+// recovery at a time), with happens-before edges through the recovery
+// hand-off.
+func clientDialer(spec Spec, addr string, acct *netsim.Accountant) func() (transport.Conn, error) {
+	attempt := 0
+	return func() (transport.Conn, error) {
+		k := attempt
+		attempt++
+		if len(spec.ChaosCuts) == 0 {
+			if spec.Trace != nil {
+				return transport.DialShaped(addr, spec.Trace, acct)
+			}
+			return transport.Dial(addr, spec.Bandwidth, acct)
+		}
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("harness: dial %s: %w", addr, err)
+		}
+		dir := netsim.Up
+		if spec.ChaosDownCut {
+			dir = netsim.Down
+		}
+		var conn net.Conn = nc
+		if spec.ChaosStall > 0 {
+			// Stalls leave the connection up, so no redial ever happens:
+			// the whole script rides the first connection.
+			if k == 0 {
+				faults := make([]netsim.Fault, len(spec.ChaosCuts))
+				for i, at := range spec.ChaosCuts {
+					faults[i] = netsim.Fault{AfterBytes: at, Dir: dir, Stall: spec.ChaosStall}
+				}
+				conn = netsim.NewFaultyConn(conn, faults...)
+			}
+		} else if k < len(spec.ChaosCuts) {
+			// Cuts sever the link: the i-th (re)connection carries the
+			// i-th scripted cut, connections past the script run clean.
+			conn = netsim.NewFaultyConn(conn, netsim.Fault{AfterBytes: spec.ChaosCuts[k], Dir: dir})
+		}
+		if spec.Trace != nil {
+			conn = netsim.NewTracedConn(conn, spec.Trace, nil)
+		} else if spec.Bandwidth > 0 {
+			conn = netsim.NewThrottledConn(conn, spec.Bandwidth, nil)
+		}
+		return transport.NewTCPConn(conn, acct, false), nil
+	}
 }
 
 // Drive runs one end-to-end scenario: a loopback serve.Manager with the
@@ -102,12 +154,8 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 				errs[c] = err
 				return
 			}
-			var conn transport.Conn
-			if spec.Trace != nil {
-				conn, err = transport.DialShaped(ln.Addr(), spec.Trace, acct)
-			} else {
-				conn, err = transport.Dial(ln.Addr(), spec.Bandwidth, acct)
-			}
+			dial := clientDialer(spec, ln.Addr(), acct)
+			conn, err := dial()
 			if err != nil {
 				errs[c] = err
 				return
@@ -121,6 +169,13 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 				SessionID:    uint64(c + 1),
 				DecodeDiff:   dec,
 				TrackLatency: true,
+			}
+			if len(spec.ChaosCuts) > 0 {
+				// Chaos scenarios measure the resilience subsystem: every
+				// client reconnects through the same dialer, so the i-th
+				// redial picks up the i-th scripted fault.
+				cl.Dial = dial
+				cl.ResumeBackoff = 20 * time.Millisecond
 			}
 			errs[c] = cl.Run(conn, gen, spec.Frames)
 			clients[c] = cl
@@ -150,7 +205,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 		FramesPerClient: spec.Frames,
 		WallSeconds:     elapsed.Seconds(),
 	}
-	var fps, iou, latMS []float64
+	var fps, iou, latMS, recMS []float64
 	var keyFrames int
 	for _, cl := range clients {
 		fps = append(fps, float64(cl.Result.Frames)/cl.Result.Elapsed.Seconds())
@@ -159,7 +214,15 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 		for _, d := range cl.Result.FrameLatencies {
 			latMS = append(latMS, float64(d)/float64(time.Millisecond))
 		}
+		m.Reconnects += cl.Result.Reconnects
+		m.ResumeReplays += cl.Result.ResumeReplays
+		m.FullResends += cl.Result.FullResends
+		m.StaleFrames += cl.Result.StaleFrames
+		for _, d := range cl.Result.RecoveryTimes {
+			recMS = append(recMS, float64(d)/float64(time.Millisecond))
+		}
 	}
+	m.RecoveryMeanMS = stats.Mean(recMS)
 	totalFrames := spec.Clients * spec.Frames
 	m.AggregateFPS = float64(totalFrames) / elapsed.Seconds()
 	m.MeanClientFPS = stats.Mean(fps)

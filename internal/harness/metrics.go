@@ -15,9 +15,11 @@ import (
 
 // Schema identifies the bench-file format; SchemaVersion is bumped on any
 // breaking change to the Metrics JSON layout (a golden test pins it).
+// Version 2 added the session-resilience block (reconnects, resume
+// replays, full resends, stale frames, recovery latency, mIoU delta).
 const (
 	Schema        = "shadowtutor-bench"
-	SchemaVersion = 1
+	SchemaVersion = 2
 )
 
 // Metrics is the structured result of one scenario run. Field meanings:
@@ -50,6 +52,21 @@ type Metrics struct {
 	MeanDistillSteps     float64 `json:"mean_distill_steps,omitempty"`
 	DistillStepMS        float64 `json:"distill_step_ms,omitempty"`
 	DistillAllocsPerStep float64 `json:"distill_allocs_per_step,omitempty"`
+
+	// Session-resilience metrics, populated by chaos scenarios (and any
+	// run where a client reconnected). Reconnects counts successful
+	// re-attachments; FullResends counts post-handshake full checkpoints
+	// (journal replay keeps it at zero); StaleFrames counts frames
+	// inferred on stale weights while disconnected; RecoveryMeanMS is the
+	// mean drop-detected → recovered latency; MIoUDeltaPct is the
+	// percentage-point accuracy cost versus the same scenario without
+	// faults (chaos families only).
+	Reconnects     int     `json:"reconnects,omitempty"`
+	ResumeReplays  int     `json:"resume_replays,omitempty"`
+	FullResends    int     `json:"full_resends,omitempty"`
+	StaleFrames    int     `json:"stale_frames,omitempty"`
+	RecoveryMeanMS float64 `json:"recovery_mean_ms,omitempty"`
+	MIoUDeltaPct   float64 `json:"miou_delta_pct,omitempty"`
 
 	// Extra carries family-specific metrics (ablation columns, codec byte
 	// counts). Keys are stable snake_case; benchdiff treats them as

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/netsim"
 )
@@ -41,6 +42,22 @@ type Spec struct {
 	// MeasureAllocs additionally measures steady-state distill-step
 	// allocations (single-goroutine, after the run) — the PR 2 guard.
 	MeasureAllocs bool
+	// ChaosCuts scripts mid-stream connection faults per client: the i-th
+	// connection a client dials is faulted once it has moved ChaosCuts[i]
+	// bytes in the scripted direction (ChaosDownCut selects which);
+	// connections beyond the list run clean. A cut severs the link and
+	// exercises the reconnect/resume path (the driver installs a Dial
+	// callback on every client); with ChaosStall set the fault pauses the
+	// transfer instead of cutting.
+	ChaosCuts []int64
+	// ChaosDownCut aims the scripted faults at the download direction
+	// (server → client diffs) instead of the upload (key frames) —
+	// cutting mid-diff leaves the client provably behind, forcing a real
+	// journal replay rather than an empty one.
+	ChaosDownCut bool
+	// ChaosStall, when positive, turns the scripted faults into stalls of
+	// this duration (latency spikes without connection loss).
+	ChaosStall time.Duration
 }
 
 func (s *Spec) setDefaults() {

@@ -27,6 +27,8 @@ var WifiFade = netsim.MustTrace("wifi-fade",
 //	ablation/*         — the DESIGN.md ablation suite, folded to metrics
 //	compression/*      — the §8 diff-codec study, folded to metrics
 //	alloc/*            — PR 2 steady-state allocation guard
+//	chaos/*            — scripted mid-stream connection faults measuring
+//	                     the resume subsystem (see chaos.go)
 //	soak/*             — long multi-client runs for the nightly -race job
 func init() {
 	sweep := func(variant string, spec Spec) {

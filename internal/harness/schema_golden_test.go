@@ -48,6 +48,21 @@ func goldenBench() BenchFile {
 				"vs_raw":        3.9,
 			},
 		},
+		{
+			Scenario:        "chaos/drop-midstream",
+			Family:          "chaos",
+			Workload:        "drone",
+			Clients:         1,
+			FramesPerClient: 220,
+			MeanIoU:         0.215,
+			Reconnects:      2,
+			ResumeReplays:   2,
+			FullResends:     0,
+			StaleFrames:     7,
+			RecoveryMeanMS:  88.4,
+			MIoUDeltaPct:    -1.1,
+			Extra:           map[string]float64{"clean_miou": 0.226},
+		},
 	})
 }
 

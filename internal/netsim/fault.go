@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedCut reports a connection severed by a FaultyConn script. The
+// underlying conn is closed when the fault fires, so the peer observes the
+// drop too.
+var ErrInjectedCut = errors.New("netsim: connection cut by fault script")
+
+// FaultDir selects which direction's bytes arm a fault.
+type FaultDir uint8
+
+// Fault directions, counted from the wrapped side's perspective.
+const (
+	// Up counts bytes written through the conn.
+	Up FaultDir = iota
+	// Down counts bytes read through the conn.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (d FaultDir) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Fault is one scripted connection event: once the connection has moved
+// AfterBytes bytes in direction Dir, either stall the transfer for Stall,
+// or (Stall == 0) sever the connection — both sides observe the drop.
+type Fault struct {
+	AfterBytes int64
+	Dir        FaultDir
+	Stall      time.Duration
+}
+
+// FaultyConn wraps a net.Conn and injects connection faults at scripted
+// byte offsets — the chaos half of the network simulator: a mid-stream
+// Wi-Fi drop becomes a deterministic, replayable event at an exact point
+// in the protocol stream. Transfers are split at fault boundaries, so a
+// cut in the middle of a large write delivers exactly the scripted prefix
+// before failing. Safe for one concurrent reader plus one writer (the
+// transport's usage).
+type FaultyConn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	script []Fault // unfired faults, consumed in the order given per direction
+	up     int64
+	down   int64
+	cut    bool
+}
+
+// NewFaultyConn wraps conn with the given fault script. Faults fire in
+// list order within each direction; offsets are cumulative per direction.
+func NewFaultyConn(conn net.Conn, script ...Fault) *FaultyConn {
+	return &FaultyConn{Conn: conn, script: append([]Fault(nil), script...)}
+}
+
+// counter returns the byte counter for dir. Caller holds c.mu.
+func (c *FaultyConn) counter(dir FaultDir) *int64 {
+	if dir == Up {
+		return &c.up
+	}
+	return &c.down
+}
+
+// room reports how many of want bytes may move in dir before the next
+// fault, and fires due faults: a stall is returned for the caller to sleep
+// off (the script entry is consumed first), a cut closes the conn and
+// reports ErrInjectedCut. room == 0 with a nil error only when want == 0.
+func (c *FaultyConn) room(dir FaultDir, want int) (int, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.cut {
+			return 0, 0, ErrInjectedCut
+		}
+		next := -1
+		for i, f := range c.script {
+			if f.Dir == dir {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			return want, 0, nil
+		}
+		f := c.script[next]
+		left := f.AfterBytes - *c.counter(dir)
+		if left > 0 {
+			if int64(want) > left {
+				want = int(left)
+			}
+			return want, 0, nil
+		}
+		// The fault is due: consume it and act.
+		c.script = append(c.script[:next], c.script[next+1:]...)
+		if f.Stall > 0 {
+			return 0, f.Stall, nil
+		}
+		c.cut = true
+		c.Conn.Close()
+		return 0, 0, ErrInjectedCut
+	}
+}
+
+func (c *FaultyConn) add(dir FaultDir, n int) {
+	c.mu.Lock()
+	*c.counter(dir) += int64(n)
+	c.mu.Unlock()
+}
+
+// Read implements net.Conn, stopping short of the next Down fault.
+func (c *FaultyConn) Read(p []byte) (int, error) {
+	for {
+		n, stall, err := c.room(Down, len(p))
+		if err != nil {
+			return 0, err
+		}
+		if stall > 0 {
+			time.Sleep(stall)
+			continue
+		}
+		if n == 0 {
+			return c.Conn.Read(p[:0])
+		}
+		m, err := c.Conn.Read(p[:n])
+		c.add(Down, m)
+		return m, err
+	}
+}
+
+// Write implements net.Conn, splitting at fault boundaries so the peer
+// receives exactly the bytes scripted before a cut.
+func (c *FaultyConn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		n, stall, err := c.room(Up, len(p)-written)
+		if err != nil {
+			return written, err
+		}
+		if stall > 0 {
+			time.Sleep(stall)
+			continue
+		}
+		m, err := c.Conn.Write(p[written : written+n])
+		c.add(Up, m)
+		written += m
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Transferred returns the bytes moved so far in each direction.
+func (c *FaultyConn) Transferred() (up, down int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.up, c.down
+}

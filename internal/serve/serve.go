@@ -6,9 +6,20 @@
 // inference through one shared teacher behind a bounded, micro-batching
 // worker queue (teacher.Batcher) — the one-GPU-teacher-amortised-across-
 // many-mobile-students deployment the paper motivates in §1 and §7.
+//
+// The manager is additionally resilient to the mobile reality of flaky
+// links: when a session's connection drops (core.ErrConnLost), its whole
+// state — student clone, optimizer moments, sequence counters, plus a
+// bounded journal of recent encoded diffs — is detached into a
+// resume.Store instead of discarded. A client reconnecting with the
+// protocol-v3 Resume handshake gets the session back and replays only the
+// journal suffix past the last diff it applied, falling back to a full
+// checkpoint when the gap out-ages the journal. Detached sessions are
+// reaped after ResumeTTL.
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -16,9 +27,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/resume"
 	"repro/internal/teacher"
 	"repro/internal/transport"
 )
+
+// encodeParams serialises a full checkpoint body (the resume-full
+// fallback's StudentFull).
+func encodeParams(params []*nn.Parameter) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.WriteNamed(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
 
 // ErrClosed is returned by Handle after Close.
 var ErrClosed = errors.New("serve: manager closed")
@@ -45,6 +67,16 @@ type Options struct {
 	// finish before force-closing their connections (default 30s; negative
 	// waits forever). A stalled client must not be able to wedge shutdown.
 	DrainTimeout time.Duration
+	// ResumeTTL bounds how long a disconnected session's state is parked
+	// for resumption before being evicted (default 2m; negative disables
+	// resumption entirely — dropped sessions are discarded as before).
+	ResumeTTL time.Duration
+	// JournalDepth is how many recent student diffs each session journals
+	// for replay on resume (default 8).
+	JournalDepth int
+	// MaxDetached caps sessions parked for resumption; beyond it the
+	// oldest is evicted (default MaxSessions).
+	MaxDetached int
 	// EncodeDiff, when non-nil, is installed on every session's core.Server
 	// so outgoing student diffs are encoded with a custom codec (see
 	// core.Server.EncodeDiff and internal/harness).
@@ -58,17 +90,25 @@ type Options struct {
 // owned by the session goroutine while it runs.
 type SessionInfo struct {
 	ID      uint64
+	Epoch   uint64
 	Started time.Time
 }
 
 // Stats aggregates manager activity.
 type Stats struct {
-	SessionsServed int64         // sessions completed
+	SessionsServed int64         // sessions completed (incl. evicted detached ones)
 	Active         int           // sessions currently running
 	KeyFrames      int64         // key frames distilled across completed sessions
 	DistillSteps   int64         // optimisation steps across completed sessions
 	DistillTime    time.Duration // wall time spent in those steps
 	Teacher        teacher.BatchStats
+
+	// Resilience counters.
+	Detached      int   // sessions currently parked for resumption
+	Resumed       int64 // sessions successfully re-attached after a drop
+	ResumeReplays int64 // resumes served from the diff journal
+	ResumeFulls   int64 // resumes that fell back to a full checkpoint
+	Evicted       int64 // parked sessions dropped by TTL/capacity/shutdown
 }
 
 // MeanDistillSteps is the mean number of optimisation steps per key frame
@@ -91,30 +131,37 @@ func (s Stats) MeanStepLatency() time.Duration {
 
 type session struct {
 	id      uint64
+	epoch   uint64
 	srv     *core.Server
+	journal *resume.Journal
 	started time.Time
 }
 
 // Manager owns the multi-session server: session registry, per-session
-// distillers, the shared batched teacher, and aggregate statistics.
+// distillers, the shared batched teacher, the resume store, and aggregate
+// statistics.
 type Manager struct {
 	opts    Options
 	batcher *teacher.Batcher
+	store   *resume.Store // nil when resumption is disabled
 	slots   chan struct{}
 	quit    chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
 
-	mu           sync.Mutex
-	closed       bool
-	nextID       uint64
-	active       map[uint64]*session
-	conns        map[transport.Conn]struct{}
-	served       int64
-	keyFrames    int64
-	distillSteps int64
-	distillTime  time.Duration
-	listeners    []*transport.Listener
+	mu            sync.Mutex
+	closed        bool
+	nextID        uint64
+	active        map[uint64]*session
+	conns         map[transport.Conn]struct{}
+	served        int64
+	keyFrames     int64
+	distillSteps  int64
+	distillTime   time.Duration
+	resumed       int64
+	resumeReplays int64
+	resumeFulls   int64
+	listeners     []*transport.Listener
 }
 
 // NewManager builds a Manager and starts the shared teacher queue.
@@ -142,19 +189,38 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.DrainTimeout == 0 {
 		opts.DrainTimeout = 30 * time.Second
 	}
-	return &Manager{
+	if opts.ResumeTTL == 0 {
+		opts.ResumeTTL = 2 * time.Minute
+	}
+	if opts.JournalDepth <= 0 {
+		opts.JournalDepth = 8
+	}
+	if opts.MaxDetached <= 0 {
+		opts.MaxDetached = opts.MaxSessions
+	}
+	m := &Manager{
 		opts:    opts,
 		batcher: b,
 		slots:   make(chan struct{}, opts.MaxSessions),
 		quit:    make(chan struct{}),
 		active:  map[uint64]*session{},
 		conns:   map[transport.Conn]struct{}{},
-	}, nil
+	}
+	if opts.ResumeTTL > 0 {
+		m.store = resume.NewStore(resume.Options{
+			TTL:         opts.ResumeTTL,
+			MaxSessions: opts.MaxDetached,
+			OnEvict:     m.foldEvicted,
+		})
+	}
+	return m, nil
 }
 
 // Handle serves one client session on conn, blocking until the session
 // ends. It may be called from any number of goroutines; when MaxSessions
 // sessions are active it blocks until a slot frees. The caller owns conn.
+// The first message routes the connection: a Hello opens a fresh session,
+// a Resume re-attaches a detached one.
 func (m *Manager) Handle(conn transport.Conn) error {
 	if !m.track() {
 		return ErrClosed
@@ -170,33 +236,230 @@ func (m *Manager) Handle(conn transport.Conn) error {
 	m.trackConn(conn)
 	defer m.untrackConn(conn)
 
+	first, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("serve: reading handshake: %w", err)
+	}
+	if first.Type == transport.MsgResume {
+		return m.handleResume(conn, first)
+	}
+	return m.handleFresh(conn, first)
+}
+
+// handleFresh runs a brand-new session over conn, first.Type being the
+// client's opening message (normally a Hello; core rejects anything else).
+func (m *Manager) handleFresh(conn transport.Conn, first transport.Message) error {
 	// Per-session state: a private clone of the checkpoint with its own
 	// distiller and optimizer; the teacher is the shared batched queue.
 	srv := core.NewServer(m.opts.Cfg, m.opts.Base.Clone(), m.batcher)
 	srv.EncodeDiff = m.opts.EncodeDiff
-	var id uint64
-	srv.AssignSession = func(h transport.Hello) (uint64, error) {
-		id = m.register(h.SessionID, srv)
+	journal := resume.NewJournal(m.opts.JournalDepth)
+	srv.OnDiff = journal.Append
+	var id, epoch uint64
+	srv.AssignSession = func(h transport.Hello) (uint64, uint64, error) {
+		id, epoch = m.register(h.SessionID, srv, journal)
 		m.logf("session %d started (requested id %d)", id, h.SessionID)
-		return id, nil
+		return id, epoch, nil
 	}
-	_, err := srv.Handshake(conn)
+	_, err := srv.HandshakeWith(conn, first)
 	if err != nil {
 		if id != 0 {
 			m.unregister(id)
 		}
 		return err
 	}
+	return m.runSession(conn, id, epoch, srv, journal)
+}
 
-	err = srv.Loop(conn)
+// runSession drives Loop and routes the ending: clean completion folds
+// stats, a lost connection detaches the session for resumption, a protocol
+// violation discards it.
+func (m *Manager) runSession(conn transport.Conn, id, epoch uint64, srv *core.Server, journal *resume.Journal) error {
+	err := srv.Loop(conn)
+	if errors.Is(err, core.ErrConnLost) && m.detach(id, epoch, srv, journal) {
+		m.logf("session %d detached at epoch %d (diff seq %d): %v", id, epoch, srv.DiffSeq, err)
+		return nil
+	}
 	m.unregister(id)
-	if err != nil {
+	if err != nil && !errors.Is(err, core.ErrConnLost) {
 		m.logf("session %d ended with error: %v", id, err)
 		return fmt.Errorf("serve: session %d: %w", id, err)
+	}
+	if err != nil {
+		m.logf("session %d ended: connection lost, resumption disabled or shutting down", id)
+		return nil
 	}
 	m.logf("session %d complete: %d key frames, mean %.2f steps",
 		id, srv.Distiller.TotalTrains, srv.Distiller.MeanSteps())
 	return nil
+}
+
+// handleResume re-attaches a detached session to conn and serves it.
+func (m *Manager) handleResume(conn transport.Conn, first transport.Message) error {
+	req, err := transport.DecodeResume(first.Body)
+	if err != nil {
+		// Malformed body: fail only this connection, no ack — nothing
+		// trustworthy to address it to.
+		return fmt.Errorf("serve: malformed resume: %w", err)
+	}
+	sess, ack, reason := m.reattach(req)
+	if sess == nil {
+		// Rejection (permanent or transient): tell the client, then fail
+		// this connection.
+		m.sendAck(conn, ack)
+		return fmt.Errorf("serve: resume of session %d rejected: %s", req.SessionID, reason)
+	}
+	srv := sess.srv
+
+	entries, complete := sess.journal.Suffix(req.LastDiffSeq)
+	if complete {
+		ack.Status = transport.ResumeReplay
+		ack.NumDiffs = uint32(len(entries))
+	} else {
+		ack.Status = transport.ResumeFull
+	}
+	if err := m.sendAck(conn, ack); err != nil {
+		return m.redetach(sess, err)
+	}
+	if complete {
+		for _, e := range entries {
+			if err := conn.Send(transport.Message{Type: transport.MsgStudentDiff, Body: e.Body}); err != nil {
+				return m.redetach(sess, err)
+			}
+		}
+		m.countResume(true)
+		m.logf("session %d resumed at epoch %d: replayed %d of %d journaled diffs",
+			sess.id, sess.epoch, len(entries), sess.journal.Len())
+	} else {
+		full, err := encodeParams(srv.Distiller.Student.Params.All())
+		if err != nil {
+			m.unregister(sess.id)
+			return err
+		}
+		if err := conn.Send(transport.Message{Type: transport.MsgStudentFull, Body: full}); err != nil {
+			return m.redetach(sess, err)
+		}
+		m.countResume(false)
+		m.logf("session %d resumed at epoch %d: journal gap too old (asked for > %d, tail %d), sent full checkpoint",
+			sess.id, sess.epoch, req.LastDiffSeq, sess.journal.Tail())
+	}
+	return m.runSession(conn, sess.id, sess.epoch, srv, sess.journal)
+}
+
+// reattach validates a resume request and, on success, atomically moves
+// the session from the store back into the active registry under a fresh
+// epoch. On failure it returns a nil session plus the rejection ack and
+// reason.
+func (m *Manager) reattach(req transport.Resume) (*session, transport.ResumeAck, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reject := func(status transport.ResumeStatus, reason string) (*session, transport.ResumeAck, string) {
+		return nil, transport.ResumeAck{Status: status, Reason: reason}, reason
+	}
+	if m.closed {
+		return reject(transport.ResumeReject, "server shutting down")
+	}
+	if m.store == nil {
+		return reject(transport.ResumeReject, "resumption disabled")
+	}
+	if m.active[req.SessionID] != nil {
+		// The previous connection has not been torn down yet (the server
+		// may not have observed the drop); the client should back off and
+		// retry.
+		return reject(transport.ResumeRetry, fmt.Sprintf("session %d still attached", req.SessionID))
+	}
+	ds, err := m.store.Take(req.SessionID, req.Epoch)
+	if err != nil {
+		return reject(transport.ResumeReject, err.Error())
+	}
+	srv := ds.State.(*core.Server)
+	if req.LastDiffSeq > srv.DiffSeq {
+		// The client claims diffs this session never produced: a confused
+		// or hostile peer. The session state is intact — park it again
+		// unchanged (same epochs, same eviction deadline: probing must not
+		// extend the TTL) and fail only this connection.
+		m.store.Put(ds)
+		return reject(transport.ResumeReject,
+			fmt.Sprintf("client claims diff seq %d past server head %d", req.LastDiffSeq, srv.DiffSeq))
+	}
+	sess := &session{
+		id:      ds.ID,
+		epoch:   ds.Epoch + 1,
+		srv:     srv,
+		journal: ds.Journal,
+		started: time.Now(),
+	}
+	m.active[sess.id] = sess
+	return sess, transport.ResumeAck{Epoch: sess.epoch, HeadSeq: srv.DiffSeq}, ""
+}
+
+// redetach parks a session whose resumed connection failed before or
+// during replay — the state is still intact, a later resume may succeed
+// (detach re-accepts the previous epoch, since this ack never arrived).
+func (m *Manager) redetach(sess *session, cause error) error {
+	if m.detach(sess.id, sess.epoch, sess.srv, sess.journal) {
+		m.logf("session %d re-detached at epoch %d: %v", sess.id, sess.epoch, cause)
+		return nil
+	}
+	m.unregister(sess.id)
+	return fmt.Errorf("serve: session %d resume interrupted: %w", sess.id, cause)
+}
+
+func (m *Manager) sendAck(conn transport.Conn, ack transport.ResumeAck) error {
+	body, err := transport.EncodeResumeAck(ack)
+	if err != nil {
+		return err
+	}
+	return conn.Send(transport.Message{Type: transport.MsgResumeAck, Body: body})
+}
+
+func (m *Manager) countResume(replay bool) {
+	m.mu.Lock()
+	m.resumed++
+	if replay {
+		m.resumeReplays++
+	} else {
+		m.resumeFulls++
+	}
+	m.mu.Unlock()
+}
+
+// detach moves a live session into the resume store. It reports false —
+// meaning the caller must fold and discard instead — when resumption is
+// disabled or the manager is closing.
+func (m *Manager) detach(id, epoch uint64, srv *core.Server, journal *resume.Journal) bool {
+	if id == 0 || m.store == nil {
+		return false
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	delete(m.active, id)
+	m.mu.Unlock()
+	// Accept the previous epoch too: the ack that carried the current one
+	// may have died on the wire with this very drop, leaving the client
+	// legitimately one generation behind. Sessions are taken at most once,
+	// so this cannot fork.
+	var alt uint64
+	if epoch > 1 {
+		alt = epoch - 1
+	}
+	err := m.store.Put(&resume.Session{
+		ID:       id,
+		Epoch:    epoch,
+		AltEpoch: alt,
+		LastSeq:  srv.DiffSeq,
+		State:    srv,
+		Journal:  journal,
+	})
+	if err != nil {
+		// Store closed under us: fold the stats as a completed session.
+		m.foldStats(srv)
+		return true
+	}
+	return true
 }
 
 func (m *Manager) trackConn(c transport.Conn) {
@@ -224,22 +487,30 @@ func (m *Manager) track() bool {
 }
 
 // register assigns a session ID (honouring the client's request when it is
-// nonzero and free) and adds the session to the registry.
-func (m *Manager) register(requested uint64, srv *core.Server) uint64 {
+// nonzero and free — parked sessions keep their IDs reserved) and adds the
+// session to the registry at epoch 1.
+func (m *Manager) register(requested uint64, srv *core.Server, journal *resume.Journal) (id, epoch uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	id := requested
-	if id == 0 || m.active[id] != nil {
+	id = requested
+	if id == 0 || m.active[id] != nil || m.parked(id) {
 		for {
 			m.nextID++
-			if m.active[m.nextID] == nil {
+			if m.active[m.nextID] == nil && !m.parked(m.nextID) {
 				id = m.nextID
 				break
 			}
 		}
 	}
-	m.active[id] = &session{id: id, srv: srv, started: time.Now()}
-	return id
+	m.active[id] = &session{id: id, epoch: 1, srv: srv, journal: journal, started: time.Now()}
+	return id, 1
+}
+
+// parked reports whether id is reserved by a detached session. Caller
+// holds m.mu (the store has its own lock; lock order is always m.mu →
+// store).
+func (m *Manager) parked(id uint64) bool {
+	return m.store != nil && m.store.Has(id)
 }
 
 func (m *Manager) unregister(id uint64) {
@@ -247,10 +518,33 @@ func (m *Manager) unregister(id uint64) {
 	defer m.mu.Unlock()
 	if s, ok := m.active[id]; ok {
 		delete(m.active, id)
-		m.served++
-		m.keyFrames += int64(s.srv.Distiller.TotalTrains)
-		m.distillSteps += int64(s.srv.Distiller.TotalSteps)
-		m.distillTime += s.srv.Distiller.TotalStepTime
+		m.foldStatsLocked(s.srv)
+	}
+}
+
+// foldStats folds a finished session's distillation counters into the
+// aggregate.
+func (m *Manager) foldStats(srv *core.Server) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.foldStatsLocked(srv)
+}
+
+func (m *Manager) foldStatsLocked(srv *core.Server) {
+	m.served++
+	m.keyFrames += int64(srv.Distiller.TotalTrains)
+	m.distillSteps += int64(srv.Distiller.TotalSteps)
+	m.distillTime += srv.Distiller.TotalStepTime
+}
+
+// foldEvicted is the resume.Store eviction callback: a parked session that
+// expired (or was displaced) completes now, so its stats fold. Called
+// without store locks held.
+func (m *Manager) foldEvicted(ds *resume.Session) {
+	if srv, ok := ds.State.(*core.Server); ok {
+		m.foldStats(srv)
+		m.logf("session %d evicted from resume store (epoch %d, %d key frames)",
+			ds.ID, ds.Epoch, srv.Distiller.TotalTrains)
 	}
 }
 
@@ -286,7 +580,7 @@ func (m *Manager) Sessions() []SessionInfo {
 	defer m.mu.Unlock()
 	out := make([]SessionInfo, 0, len(m.active))
 	for _, s := range m.active {
-		out = append(out, SessionInfo{ID: s.id, Started: s.started})
+		out = append(out, SessionInfo{ID: s.id, Epoch: s.epoch, Started: s.started})
 	}
 	return out
 }
@@ -295,21 +589,29 @@ func (m *Manager) Sessions() []SessionInfo {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Stats{
+	st := Stats{
 		SessionsServed: m.served,
 		Active:         len(m.active),
 		KeyFrames:      m.keyFrames,
 		DistillSteps:   m.distillSteps,
 		DistillTime:    m.distillTime,
 		Teacher:        m.batcher.Stats(),
+		Resumed:        m.resumed,
+		ResumeReplays:  m.resumeReplays,
+		ResumeFulls:    m.resumeFulls,
 	}
+	if m.store != nil {
+		st.Detached = m.store.Len()
+		st.Evicted = m.store.Evicted()
+	}
+	return st
 }
 
 // Close stops accepting sessions, closes any listeners handed to
 // ServeListener, waits up to DrainTimeout for active sessions to finish
-// (then force-closes their connections), and shuts the shared teacher
-// queue down. Idempotent; concurrent callers block until the first
-// invocation completes.
+// (then force-closes their connections), evicts every parked session, and
+// shuts the shared teacher queue down. Idempotent; concurrent callers
+// block until the first invocation completes.
 func (m *Manager) Close() error {
 	m.once.Do(func() {
 		close(m.quit)
@@ -342,6 +644,9 @@ func (m *Manager) Close() error {
 				m.logf("drain timed out, force-closed %d session conns", n)
 				<-done
 			}
+		}
+		if m.store != nil {
+			m.store.Close()
 		}
 		m.batcher.Close()
 	})

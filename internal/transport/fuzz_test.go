@@ -139,6 +139,59 @@ func FuzzDecodeStudentDiff(f *testing.F) {
 	})
 }
 
+func FuzzDecodeResume(f *testing.F) {
+	f.Add(EncodeResume(Resume{SessionID: 7, Epoch: 2, LastDiffSeq: 31}))
+	f.Add([]byte{})
+	f.Add(EncodeResume(Resume{})[:23]) // truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResume(data)
+		if err != nil {
+			return
+		}
+		r2, err := DecodeResume(EncodeResume(r))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded resume failed: %v", err)
+		}
+		if r2 != r {
+			t.Fatalf("resume round trip mismatch: %+v vs %+v", r2, r)
+		}
+	})
+}
+
+func FuzzDecodeResumeAck(f *testing.F) {
+	for _, a := range []ResumeAck{
+		{Status: ResumeReplay, Epoch: 2, HeadSeq: 9, NumDiffs: 4},
+		{Status: ResumeFull, Epoch: 1, HeadSeq: 100},
+		{Status: ResumeReject, Reason: "unknown session"},
+		{Status: ResumeRetry, Reason: "still attached"},
+	} {
+		body, err := EncodeResumeAck(a)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeResumeAck(data)
+		if err != nil {
+			return
+		}
+		body, err := EncodeResumeAck(a)
+		if err != nil {
+			t.Fatalf("re-encode of decoded ack failed: %v", err)
+		}
+		a2, err := DecodeResumeAck(body)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded ack failed: %v", err)
+		}
+		if a2 != a {
+			t.Fatalf("resume ack round trip mismatch: %+v vs %+v", a2, a)
+		}
+	})
+}
+
 func FuzzMessageRoundTrip(f *testing.F) {
 	f.Add(uint8(MsgKeyFrame), EncodeKeyFrame(seedKeyFrame()))
 	f.Add(uint8(MsgShutdown), []byte{})

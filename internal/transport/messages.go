@@ -36,6 +36,14 @@ const (
 	MsgPrediction
 	// MsgShutdown ends the session.
 	MsgShutdown
+	// MsgResume opens a connection by re-attaching to a disconnected
+	// session (client → server) instead of a fresh Hello: the client names
+	// the session, its epoch, and the last student-diff sequence it
+	// applied, so the server can replay only the missed suffix.
+	MsgResume
+	// MsgResumeAck answers a Resume (server → client): replay, full
+	// checkpoint fallback, or rejection.
+	MsgResumeAck
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +61,10 @@ func (t MsgType) String() string {
 		return "Prediction"
 	case MsgShutdown:
 		return "Shutdown"
+	case MsgResume:
+		return "Resume"
+	case MsgResumeAck:
+		return "ResumeAck"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -70,11 +82,18 @@ type Hello struct {
 	FrameH    uint16
 	Partial   bool
 	SessionID uint64
+	// Epoch identifies the session's attachment generation. The server's
+	// ack carries the epoch it assigned; a client presents it back in a
+	// Resume so stale reconnects (from before an earlier resume) are
+	// rejected instead of silently forking the session.
+	Epoch uint64
 }
 
 // Version is the current protocol version. Version 2 added the SessionID
 // field and the server's Hello acknowledgement carrying the assigned ID.
-const Version = 2
+// Version 3 added diff/key-frame sequence numbers, the session Epoch, and
+// the Resume/ResumeAck handshake for reconnecting clients.
+const Version = 3
 
 // KeyFrame is the client → server key frame payload. Label optionally
 // carries the synthetic ground-truth mask: the Oracle teacher (the
@@ -85,6 +104,10 @@ type KeyFrame struct {
 	FrameIndex uint32
 	Image      *tensor.Tensor // CHW float32
 	Label      []int32        // optional oracle side-channel
+	// Seq numbers key frames monotonically within a session, surviving
+	// reconnects — the server rejects a non-increasing Seq as a confused
+	// resume. Zero means "unnumbered" (version ≤ 2 peers).
+	Seq uint64
 }
 
 // StudentDiff is the server → client update payload.
@@ -92,6 +115,10 @@ type StudentDiff struct {
 	FrameIndex uint32
 	Metric     float64 // post-distillation mIoU of Algorithm 1
 	Params     []*nn.Parameter
+	// Seq numbers student diffs monotonically within a session (1, 2, …).
+	// A resuming client declares the last Seq it applied and the server
+	// replays only the journal suffix past it. Zero means "unnumbered".
+	Seq uint64
 }
 
 // Prediction is the server → client mask payload for naive offloading.
@@ -113,6 +140,7 @@ func EncodeHello(h Hello) []byte {
 	}
 	buf.WriteByte(p)
 	binary.Write(&buf, binary.LittleEndian, h.SessionID)
+	binary.Write(&buf, binary.LittleEndian, h.Epoch)
 	return buf.Bytes()
 }
 
@@ -142,6 +170,11 @@ func DecodeHello(b []byte) (Hello, error) {
 			return h, fmt.Errorf("transport: hello session id: %w", err)
 		}
 	}
+	if r.Len() >= 8 {
+		if err := binary.Read(r, binary.LittleEndian, &h.Epoch); err != nil {
+			return h, fmt.Errorf("transport: hello epoch: %w", err)
+		}
+	}
 	return h, nil
 }
 
@@ -159,13 +192,14 @@ func EncodeKeyFrame(k KeyFrame) []byte {
 	if len(k.Label) > 0 {
 		binary.Write(&buf, binary.LittleEndian, k.Label)
 	}
+	binary.Write(&buf, binary.LittleEndian, k.Seq)
 	return buf.Bytes()
 }
 
 // KeyFrameWireBytes returns the body size of an encoded key frame without
 // the oracle label side-channel — the size traffic accounting should use.
 func KeyFrameWireBytes(k KeyFrame) int {
-	return 4 + 1 + 4*k.Image.Rank() + 4*k.Image.Len() + 4
+	return 4 + 1 + 4*k.Image.Rank() + 4*k.Image.Len() + 4 + 8
 }
 
 // DecodeKeyFrame parses a KeyFrame body.
@@ -226,6 +260,11 @@ func DecodeKeyFrame(b []byte) (KeyFrame, error) {
 			return k, fmt.Errorf("transport: keyframe label: %w", err)
 		}
 	}
+	if r.Len() >= 8 {
+		if err := binary.Read(r, binary.LittleEndian, &k.Seq); err != nil {
+			return k, fmt.Errorf("transport: keyframe seq: %w", err)
+		}
+	}
 	return k, nil
 }
 
@@ -237,6 +276,7 @@ func EncodeStudentDiff(d StudentDiff) ([]byte, error) {
 	if err := nn.WriteNamed(&buf, d.Params); err != nil {
 		return nil, err
 	}
+	binary.Write(&buf, binary.LittleEndian, d.Seq)
 	return buf.Bytes(), nil
 }
 
@@ -257,6 +297,11 @@ func DecodeStudentDiff(b []byte) (StudentDiff, error) {
 		return d, fmt.Errorf("transport: diff params: %w", err)
 	}
 	d.Params = params
+	if r.Len() >= 8 {
+		if err := binary.Read(r, binary.LittleEndian, &d.Seq); err != nil {
+			return d, fmt.Errorf("transport: diff seq: %w", err)
+		}
+	}
 	return d, nil
 }
 
@@ -291,6 +336,153 @@ func DecodePrediction(b []byte) (Prediction, error) {
 		return p, fmt.Errorf("transport: prediction mask: %w", err)
 	}
 	return p, nil
+}
+
+// Resume is the reconnect handshake payload (client → server): instead of
+// a fresh Hello, the client names the detached session it owns, the epoch
+// it was attached under, and the last student-diff sequence it applied.
+type Resume struct {
+	SessionID   uint64
+	Epoch       uint64
+	LastDiffSeq uint64
+}
+
+// resumeWireBytes is the exact encoded size of a Resume body. The decoder
+// requires it exactly: a truncated or padded Resume is a protocol error
+// that must fail only the offending connection.
+const resumeWireBytes = 24
+
+// EncodeResume serialises a Resume body.
+func EncodeResume(r Resume) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, r.SessionID)
+	binary.Write(&buf, binary.LittleEndian, r.Epoch)
+	binary.Write(&buf, binary.LittleEndian, r.LastDiffSeq)
+	return buf.Bytes()
+}
+
+// DecodeResume parses a Resume body.
+func DecodeResume(b []byte) (Resume, error) {
+	var r Resume
+	if len(b) != resumeWireBytes {
+		return r, fmt.Errorf("transport: resume body is %d bytes, want %d", len(b), resumeWireBytes)
+	}
+	r.SessionID = binary.LittleEndian.Uint64(b[0:])
+	r.Epoch = binary.LittleEndian.Uint64(b[8:])
+	r.LastDiffSeq = binary.LittleEndian.Uint64(b[16:])
+	return r, nil
+}
+
+// ResumeStatus is the server's verdict on a Resume request.
+type ResumeStatus uint8
+
+// Resume verdicts.
+const (
+	// ResumeReplay accepts the resume; NumDiffs journaled StudentDiff
+	// messages follow, covering (LastDiffSeq, HeadSeq].
+	ResumeReplay ResumeStatus = iota + 1
+	// ResumeFull accepts the resume but the journal no longer covers the
+	// client's gap; a full StudentFull checkpoint follows instead.
+	ResumeFull
+	// ResumeReject permanently refuses the resume (unknown or expired
+	// session, epoch mismatch); the client must fall back to a fresh
+	// Hello handshake.
+	ResumeReject
+	// ResumeRetry transiently refuses the resume (the session is still
+	// attached to a connection the server has not yet torn down); the
+	// client should back off and retry.
+	ResumeRetry
+)
+
+// String implements fmt.Stringer.
+func (s ResumeStatus) String() string {
+	switch s {
+	case ResumeReplay:
+		return "replay"
+	case ResumeFull:
+		return "full"
+	case ResumeReject:
+		return "reject"
+	case ResumeRetry:
+		return "retry"
+	}
+	return fmt.Sprintf("ResumeStatus(%d)", uint8(s))
+}
+
+// ResumeAck answers a Resume (server → client).
+type ResumeAck struct {
+	Status ResumeStatus
+	// Epoch is the session's new attachment epoch (accepting statuses).
+	Epoch uint64
+	// HeadSeq is the latest diff sequence the server has produced; after
+	// the replay or the full checkpoint the client is current through it.
+	HeadSeq uint64
+	// NumDiffs is how many journaled diffs follow (ResumeReplay only).
+	NumDiffs uint32
+	// Reason explains a rejection in human terms.
+	Reason string
+}
+
+// maxResumeReason bounds the rejection text so a hostile server cannot
+// force a giant allocation at the client's protocol boundary.
+const maxResumeReason = 4096
+
+// EncodeResumeAck serialises a ResumeAck body.
+func EncodeResumeAck(a ResumeAck) ([]byte, error) {
+	if len(a.Reason) > maxResumeReason {
+		return nil, fmt.Errorf("transport: resume reason of %d bytes exceeds limit", len(a.Reason))
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(byte(a.Status))
+	binary.Write(&buf, binary.LittleEndian, a.Epoch)
+	binary.Write(&buf, binary.LittleEndian, a.HeadSeq)
+	binary.Write(&buf, binary.LittleEndian, a.NumDiffs)
+	binary.Write(&buf, binary.LittleEndian, uint16(len(a.Reason)))
+	buf.WriteString(a.Reason)
+	return buf.Bytes(), nil
+}
+
+// DecodeResumeAck parses a ResumeAck body.
+func DecodeResumeAck(b []byte) (ResumeAck, error) {
+	var a ResumeAck
+	r := bytes.NewReader(b)
+	status, err := r.ReadByte()
+	if err != nil {
+		return a, fmt.Errorf("transport: resume ack status: %w", err)
+	}
+	a.Status = ResumeStatus(status)
+	switch a.Status {
+	case ResumeReplay, ResumeFull, ResumeReject, ResumeRetry:
+	default:
+		return a, fmt.Errorf("transport: unknown resume status %d", status)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &a.Epoch); err != nil {
+		return a, fmt.Errorf("transport: resume ack epoch: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &a.HeadSeq); err != nil {
+		return a, fmt.Errorf("transport: resume ack head seq: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &a.NumDiffs); err != nil {
+		return a, fmt.Errorf("transport: resume ack diff count: %w", err)
+	}
+	var reasonLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &reasonLen); err != nil {
+		return a, fmt.Errorf("transport: resume ack reason length: %w", err)
+	}
+	if int(reasonLen) > maxResumeReason {
+		return a, fmt.Errorf("transport: implausible resume reason of %d bytes", reasonLen)
+	}
+	if int(reasonLen) != r.Len() {
+		return a, fmt.Errorf("transport: resume ack claims %d reason bytes, %d remain", reasonLen, r.Len())
+	}
+	if reasonLen > 0 {
+		reason := make([]byte, reasonLen)
+		if _, err := io.ReadFull(r, reason); err != nil {
+			return a, fmt.Errorf("transport: resume ack reason: %w", err)
+		}
+		a.Reason = string(reason)
+	}
+	return a, nil
 }
 
 // Message is a framed protocol unit.

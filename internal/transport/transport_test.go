@@ -91,6 +91,94 @@ func TestStudentDiffRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSequenceNumbersRoundTrip(t *testing.T) {
+	k := KeyFrame{FrameIndex: 9, Image: tensor.New(3, 4, 4), Seq: 17}
+	gk, err := DecodeKeyFrame(EncodeKeyFrame(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk.Seq != 17 {
+		t.Fatalf("keyframe seq %d, want 17", gk.Seq)
+	}
+	d := StudentDiff{FrameIndex: 3, Metric: 0.5, Seq: 41,
+		Params: []*nn.Parameter{{Name: "w", Value: tensor.Full(1, 2)}}}
+	body, err := EncodeStudentDiff(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := DecodeStudentDiff(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Seq != 41 {
+		t.Fatalf("diff seq %d, want 41", gd.Seq)
+	}
+}
+
+func TestHelloEpochRoundTrip(t *testing.T) {
+	h := Hello{Version: Version, NumClass: 9, SessionID: 5, Epoch: 3}
+	got, err := DecodeHello(EncodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	r := Resume{SessionID: 12, Epoch: 3, LastDiffSeq: 99}
+	got, err := DecodeResume(EncodeResume(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip %+v != %+v", got, r)
+	}
+	// Truncated and padded bodies must fail at the boundary.
+	body := EncodeResume(r)
+	if _, err := DecodeResume(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated resume must error")
+	}
+	if _, err := DecodeResume(append(body, 0)); err == nil {
+		t.Fatal("padded resume must error")
+	}
+	if _, err := DecodeResume(nil); err == nil {
+		t.Fatal("empty resume must error")
+	}
+}
+
+func TestResumeAckRoundTrip(t *testing.T) {
+	for _, a := range []ResumeAck{
+		{Status: ResumeReplay, Epoch: 2, HeadSeq: 7, NumDiffs: 3},
+		{Status: ResumeFull, Epoch: 5, HeadSeq: 40},
+		{Status: ResumeReject, Reason: "unknown or expired session"},
+		{Status: ResumeRetry, Reason: "session 9 still attached"},
+	} {
+		body, err := EncodeResumeAck(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResumeAck(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("round trip %+v != %+v", got, a)
+		}
+	}
+	if _, err := DecodeResumeAck([]byte{0, 1, 2}); err == nil {
+		t.Fatal("unknown status must error")
+	}
+	if _, err := DecodeResumeAck(nil); err == nil {
+		t.Fatal("empty ack must error")
+	}
+	body, _ := EncodeResumeAck(ResumeAck{Status: ResumeReject, Reason: "xyz"})
+	if _, err := DecodeResumeAck(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated reason must error")
+	}
+}
+
 func TestPredictionRoundTrip(t *testing.T) {
 	p := Prediction{FrameIndex: 3, Mask: []int32{0, 1, 2, 8}}
 	got, err := DecodePrediction(EncodePrediction(p))
