@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/netsim"
 	"repro/internal/video"
 )
@@ -252,6 +253,39 @@ func BenchmarkMultiClientThroughput(b *testing.B) {
 				b.ReportMetric(res.AggregateFPS, "agg-fps")
 				b.ReportMetric(res.MeanFPS, "client-fps")
 				b.ReportMetric(res.MeanBatch, "batch")
+			}
+		})
+	}
+}
+
+// BenchmarkFabricThroughput compares the sharded serving fabric against the
+// single session manager at 64 concurrent clients: the same mixed-stream
+// population placed by rendezvous hash over 4 shard workers (each with its
+// own teacher batcher, lock domain and resume store) versus one
+// serve.Manager. The headline metric is aggregate distill-step throughput —
+// the server-side work rate the fabric exists to scale; agg-fps reports the
+// client-observed frame rate for context. On teacher-bound or lock-bound
+// deployments the shard count is the scaling lever; on a CPU-saturated
+// pure-Go box the distillers themselves bound both configurations.
+func BenchmarkFabricThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := harness.Drive("bench/fabric", "bench", harness.Spec{
+					Workload:  "mixed",
+					Clients:   64,
+					Frames:    24,
+					EvalEvery: 8,
+					Shards:    shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalFrames := float64(m.Clients * m.FramesPerClient)
+				keyFrames := m.KeyFrameRate * totalFrames
+				stepsPerSec := m.MeanDistillSteps * keyFrames / m.WallSeconds
+				b.ReportMetric(stepsPerSec, "distill-steps/s")
+				b.ReportMetric(m.AggregateFPS, "agg-fps")
 			}
 		})
 	}

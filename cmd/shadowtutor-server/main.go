@@ -7,6 +7,7 @@
 // Usage:
 //
 //	shadowtutor-server -listen 127.0.0.1:7607 -max-sessions 64 -partial=true
+//	shadowtutor-server -shards 4    # sharded serving fabric (internal/fabric)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 	"repro/internal/serve"
 	"repro/internal/teacher"
@@ -35,7 +37,8 @@ func main() {
 		threshold   = flag.Float64("threshold", 0.8, "student metric THRESHOLD")
 		maxUpd      = flag.Int("max-updates", 8, "MAX_UPDATES per key frame")
 		pretrain    = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
-		maxSessions = flag.Int("max-sessions", 64, "concurrent client session cap")
+		shards      = flag.Int("shards", 1, "shard workers in the serving fabric (1 = single session manager)")
+		maxSessions = flag.Int("max-sessions", 64, "concurrent client session cap (per shard when -shards > 1)")
 		maxBatch    = flag.Int("max-batch", 8, "max key frames per shared-teacher invocation")
 		workers     = flag.Int("batch-workers", 2, "teacher queue worker pool size")
 		resumeTTL   = flag.Duration("resume-ttl", 2*time.Minute, "how long a disconnected session stays resumable (negative disables resumption)")
@@ -62,31 +65,67 @@ func main() {
 	log.Printf("student ready: %d params, %.1f%% trainable",
 		student.Params.NumParams(), student.Params.TrainableFraction()*100)
 
-	mgr, err := serve.NewManager(serve.Options{
-		Cfg:          cfg,
-		Base:         student,
-		Teacher:      teacher.NewOracle(1),
-		MaxSessions:  *maxSessions,
-		MaxBatch:     *maxBatch,
-		BatchWorkers: *workers,
-		ResumeTTL:    *resumeTTL,
-		JournalDepth: *journal,
-		Logf:         log.Printf,
-	})
-	if err != nil {
-		log.Fatal(err)
+	shardOptions := func(i int) serve.Options {
+		return serve.Options{
+			Cfg:  cfg,
+			Base: student,
+			// One teacher replica per shard: teachers serialise behind
+			// their shard's batcher and must not be shared across shards.
+			Teacher:      teacher.NewOracle(1 + int64(i)),
+			MaxSessions:  *maxSessions,
+			MaxBatch:     *maxBatch,
+			BatchWorkers: *workers,
+			ResumeTTL:    *resumeTTL,
+			JournalDepth: *journal,
+			Logf:         log.Printf,
+		}
 	}
 
 	ln, err := transport.Listen(*listen, netsim.Mbps(*bandwidth), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (partial=%v, bandwidth=%v, max-sessions=%d)",
-		ln.Addr(), *partial, *bandwidth, *maxSessions)
 
 	// SIGINT/SIGTERM stop the accept loop and drain active sessions.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	if *shards > 1 {
+		router, err := fabric.NewRouter(fabric.Options{
+			Shards: *shards,
+			Shard:  shardOptions,
+			Logf:   log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("listening on %s (partial=%v, bandwidth=%v, shards=%d, max-sessions=%d/shard)",
+			ln.Addr(), *partial, *bandwidth, *shards, *maxSessions)
+		go func() {
+			<-sigs
+			log.Printf("shutting down, draining %d shards…", *shards)
+			router.Close()
+		}()
+		if err := router.ServeListener(ln); err != nil {
+			log.Fatalf("accept loop: %v", err)
+		}
+		router.Close()
+		fs := router.Stats()
+		for _, ss := range fs.Shards {
+			log.Printf("shard %d: %d sessions, %d key frames, mean teacher batch %.2f",
+				ss.Index, ss.SessionsServed, ss.KeyFrames, ss.Teacher.MeanBatch())
+		}
+		log.Printf("fabric: %d routed, %d handoffs, %d sheds, %d drain migrations; %d sessions total",
+			fs.Routed, fs.Handoffs, fs.Sheds, fs.Migrated, fs.Agg.SessionsServed)
+		return
+	}
+
+	mgr, err := serve.NewManager(shardOptions(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (partial=%v, bandwidth=%v, max-sessions=%d)",
+		ln.Addr(), *partial, *bandwidth, *maxSessions)
 	go func() {
 		<-sigs
 		log.Printf("shutting down, draining sessions…")

@@ -35,6 +35,15 @@
 // dropped sessions resumable for -resume-ttl (default 2m) with
 // -journal-depth recent diffs. -reconnect=false restores fail-fast.
 //
+// At scale, run the serving tier as a sharded fabric instead of one
+// session manager: -shards N starts N shard workers (each with its own
+// batched teacher and resume store) behind a router that places sessions
+// by rendezvous hash, sheds load at per-shard capacity watermarks with
+// retryable rejects, and hands parked sessions between shards on resume
+// (internal/fabric; see ARCHITECTURE.md "Sharded serving fabric"):
+//
+//	go run ./cmd/shadowtutor-server -shards 4 -max-sessions 32
+//
 // To regenerate the paper's tables, or the multi-client scaling table:
 //
 //	go run ./cmd/stbench -frames 600
@@ -51,15 +60,19 @@
 //	go run ./cmd/stbench -list
 //	go run ./cmd/stbench -scenario bandwidth-sweep/8mbps-c1-raw
 //	go run ./cmd/stbench -scenario 'chaos/*'
-//	go run ./cmd/stbench -scenario 'bandwidth-sweep/*' -json BENCH_pr3.json
+//	go run ./cmd/stbench -scenario 'fleet/*' -json BENCH_pr5.json
 //
 // The chaos/* family injects scripted mid-stream connection faults
 // (netsim.FaultyConn) and measures the resilience subsystem: reconnects,
 // journal-replay vs full-checkpoint recoveries, recovery latency, frames
 // inferred on stale weights, and the mIoU cost against a fault-free twin.
+// The fleet/* family runs the sharded fabric: uniform and hash-skewed
+// populations, admission shedding at the watermark, a mid-run shard drain
+// migrating parked sessions, and chaos reconnects that must recover on a
+// different shard via handoff with zero full resends.
 //
 // cmd/benchdiff compares two such JSON files under per-metric tolerances
 // and exits nonzero on regression — the CI perf gate:
 //
-//	go run ./cmd/benchdiff ci/bench_baseline.json BENCH_pr3.json
+//	go run ./cmd/benchdiff ci/bench_baseline.json BENCH_pr5.json
 package repro

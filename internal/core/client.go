@@ -257,7 +257,8 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 		return err
 	}
 	rs := &runState{}
-	if err := c.handshake(conn, rs); err != nil {
+	conn, err := c.admit(conn, rs)
+	if err != nil {
 		return err
 	}
 	rs.link = c.startReceiver(conn)
@@ -479,6 +480,89 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 	return nil
 }
 
+// admit runs the initial handshake, absorbing load-shed rejections: a
+// sharded server (internal/fabric) under pressure answers the Hello with a
+// retryable reject instead of a session, and a client with a Dial callback
+// backs off and redials — the admission-control loop of the router's
+// watermark shedding. Clients without Dial keep the fail-fast contract.
+// Ownership: when admit fails without entering the retry loop the initial
+// conn stays caller-owned (the legacy contract — Run's caller closes it);
+// every conn admit itself opened is closed on failure. The returned
+// connection completed the handshake.
+func (c *Client) admit(conn transport.Conn, rs *runState) (transport.Conn, error) {
+	err := c.handshake(conn, rs)
+	if err == nil {
+		return conn, nil
+	}
+	if c.Dial == nil || !isAdmissionRetry(err) {
+		return nil, err
+	}
+	attempts := c.MaxResumeAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	backoff := c.ResumeBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	for a := 0; a < attempts; a++ {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxResumeBackoff {
+			backoff = maxResumeBackoff
+		}
+		nc, derr := c.Dial()
+		if derr != nil {
+			// A failed redial consumes an attempt; the server may still be
+			// draining its accept backlog under the same pressure that shed
+			// us. Dial contracts return a nil conn with the error.
+			err = fmt.Errorf("core: redial after admission reject: %w", derr)
+			continue
+		}
+		conn = nc
+		if err = c.handshake(conn, rs); err == nil {
+			return conn, nil
+		}
+		if !isAdmissionRetry(err) {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if conn != nil {
+		conn.Close()
+	}
+	return nil, fmt.Errorf("core: gave up after %d admission attempts: %w", attempts, err)
+}
+
+// errAdmissionRetry marks a retryable server-side load shed of a fresh
+// Hello (transport.ResumeRetry reused as the admission verdict).
+type errAdmissionRetry struct{ reason string }
+
+func (e errAdmissionRetry) Error() string {
+	return fmt.Sprintf("core: admission deferred: %s", e.reason)
+}
+
+func isAdmissionRetry(err error) bool {
+	var ar errAdmissionRetry
+	return errors.As(err, &ar)
+}
+
+// helloReject classifies a MsgResumeAck received where a Hello ack was
+// expected: the server shed or refused the session at admission.
+func helloReject(body []byte) error {
+	ack, err := transport.DecodeResumeAck(body)
+	if err != nil {
+		return err
+	}
+	if ack.Status == transport.ResumeRetry {
+		return errAdmissionRetry{reason: ack.Reason}
+	}
+	return fmt.Errorf("core: session refused at admission: %s", ack.Reason)
+}
+
 // handshake performs the fresh Hello handshake on conn and applies the
 // initial checkpoint.
 func (c *Client) handshake(conn transport.Conn, rs *runState) error {
@@ -494,6 +578,9 @@ func (c *Client) handshake(conn transport.Conn, rs *runState) error {
 	m, err := conn.Recv()
 	if err != nil {
 		return fmt.Errorf("core: client hello ack recv: %w", err)
+	}
+	if m.Type == transport.MsgResumeAck {
+		return helloReject(m.Body)
 	}
 	if m.Type != transport.MsgHello {
 		return fmt.Errorf("core: expected Hello ack, got %v", m.Type)
@@ -712,6 +799,11 @@ func (c *Client) handshakeQuiet(conn transport.Conn, rs *runState) error {
 	m, err := conn.Recv()
 	if err != nil {
 		return fmt.Errorf("core: re-hello ack recv: %w", err)
+	}
+	if m.Type == transport.MsgResumeAck {
+		// A load-shed of the fresh fallback is transient (never a
+		// permanent reject), so the recovery loop backs off and retries.
+		return helloReject(m.Body)
 	}
 	if m.Type != transport.MsgHello {
 		return fmt.Errorf("core: expected Hello ack, got %v", m.Type)

@@ -1,0 +1,109 @@
+// Package fabric scales the serving tier horizontally: a Router frontend
+// places sessions onto N shard workers — each an independent serve.Manager
+// with its own teacher batcher, resume store and statistics — via
+// rendezvous (highest-random-weight) hashing over the session ID. One
+// process, one listener, N single-lock domains: the PR 1 session manager
+// becomes a partitioned, message-routed tier in the spirit of event-driven
+// multimedia runtimes, while each shard keeps the PR 2 zero-allocation hot
+// path untouched.
+//
+// The router is deliberately thin. It reads exactly one message per
+// connection — the opening Hello or Resume — picks the shard, and hands
+// both over; every protocol decision (epoch checks, replay vs full
+// checkpoint, rejects) stays in the shard's serve.Manager. Three concerns
+// live at the router because only it sees all shards:
+//
+//   - Admission control: a fresh Hello aimed at a shard at its capacity
+//     watermark is shed with the protocol-v3 retryable reject
+//     (transport.ResumeRetry), so overload turns into client backoff
+//     instead of unbounded queueing.
+//   - Cross-shard handoff: a Resume that hashes to a shard that does not
+//     hold the parked session (the placement changed, or the session was
+//     fallback-placed) pulls the session's serialized envelope from the
+//     shard that does and re-parks it on the target, journal and optimizer
+//     moments intact.
+//   - Drain: removing a shard from the placement set migrates its parked
+//     sessions to their new homes instead of evicting them; active
+//     sessions finish where they are.
+package fabric
+
+import (
+	"repro/internal/serve"
+	"repro/internal/transport"
+)
+
+// Placement is the narrow contract the router needs from a shard worker.
+// *serve.Manager implements it; the indirection keeps the router free of
+// any knowledge of distillation, teachers or resume internals.
+type Placement interface {
+	// HandleFirst serves one session whose opening message the router
+	// already read, blocking until the session ends.
+	HandleFirst(conn transport.Conn, first transport.Message) error
+	// Load reports active sessions against capacity for admission control.
+	Load() (active, capacity int)
+	// SessionState reports whether a session is active, parked or unknown.
+	SessionState(id uint64) serve.SessionState
+	// ExportParked removes a parked session and returns its handoff
+	// envelope; ImportParked parks an envelope exported elsewhere.
+	ExportParked(id uint64) ([]byte, error)
+	ImportParked(env []byte) error
+	// ParkedIDs lists parked sessions (drain migration walks it).
+	ParkedIDs() []uint64
+	// Stats snapshots the shard's aggregate activity.
+	Stats() serve.Stats
+	// Close drains and shuts the shard down.
+	Close() error
+}
+
+// Shard is one placement-addressable worker: a serve.Manager plus its
+// stable index in the fabric. The index — not the Go object — is what the
+// rendezvous hash scores, so placement is reproducible across processes.
+type Shard struct {
+	Index int
+	*serve.Manager
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer, dependency-free and stable across platforms (placement must be
+// reproducible in tests, scenarios and multi-process deployments).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// score is the rendezvous weight of session id on shard index.
+func score(shard int, id uint64) uint64 {
+	return mix64(mix64(uint64(shard)+0x9e3779b97f4a7c15) ^ id)
+}
+
+// Place returns the index (into shards) of the rendezvous winner for id
+// among the given shard indices. Rendezvous hashing gives the property the
+// handoff story depends on: when a shard leaves the set, only the sessions
+// it owned re-home (each to its second-highest scorer); every other
+// session's placement is untouched. Empty input returns -1.
+func Place(id uint64, shards []int) int {
+	best, bestScore := -1, uint64(0)
+	for i, s := range shards {
+		if sc := score(s, id); best < 0 || sc > bestScore || (sc == bestScore && s < shards[best]) {
+			best, bestScore = i, sc
+		}
+	}
+	return best
+}
+
+// ShardFor is Place over the full shard set [0, n): the home shard of a
+// session in an undrained fabric of n shards. Scenario authors use it to
+// construct deliberately skewed ID populations.
+func ShardFor(id uint64, n int) int {
+	best, bestScore := -1, uint64(0)
+	for s := 0; s < n; s++ {
+		if sc := score(s, id); best < 0 || sc > bestScore {
+			best, bestScore = s, sc
+		}
+	}
+	return best
+}

@@ -1,0 +1,28 @@
+package fabric
+
+import "testing"
+
+// TestPlacementDrainScenarioProfile documents the deterministic occupancy
+// profile the fleet/shard-drain-under-load scenario gates in CI: with IDs
+// 1..12 on 4 shards, draining shard 1 re-homes its sessions among the
+// survivors, and every survivor keeps at least one natively homed session
+// — so a timing shift in when each client resumes (before vs after the
+// drain) can never drive a baseline-nonzero per-shard count to zero.
+func TestPlacementDrainScenarioProfile(t *testing.T) {
+	full := []int{0, 1, 2, 3}
+	surv := []int{0, 2, 3}
+	native := map[int]int{}
+	for id := uint64(1); id <= 12; id++ {
+		h := full[Place(id, full)]
+		native[h]++
+		if h == 1 {
+			t.Logf("id %d: home 1 -> survivor %d", id, surv[Place(id, surv)])
+		}
+	}
+	t.Logf("native counts: %v", native)
+	for _, s := range surv {
+		if native[s] == 0 {
+			t.Errorf("survivor shard %d has no native sessions; drain-timing drift could zero its count", s)
+		}
+	}
+}

@@ -78,7 +78,7 @@ func runChaosWithBaseline(spec Spec) ([]Metrics, error) {
 }
 
 // The chaos catalogue. chaos/drop-midstream is the bench-gate scenario:
-// its acceptance contract (2 reconnects, ≤1 full resend, mIoU within 2
+// its acceptance contract (2 reconnects, ≤1 full resend, mIoU within a few
 // percentage points of the clean twin) is asserted by TestChaosDropMidstream
 // and gated in CI via ci/bench_baseline.json.
 func init() {

@@ -79,6 +79,34 @@ var DefaultChecks = map[string]Check{
 	"stale_frames":     {Informational, 0},
 	"recovery_mean_ms": {Informational, 0},
 	"miou_delta_pct":   {Informational, 0},
+
+	// Sharded-fabric metrics (fleet families). The shard count is part of
+	// the scenario definition — any drift is a harness bug. Per-shard
+	// occupancy ("shard_sessions.<i>") is deterministic under rendezvous
+	// hashing of the scripted ID population, but drain timing can
+	// redistribute a few completions, so the gate trips only on a drop to
+	// (near) zero or roughly a doubling — note the tolerance must be < 1:
+	// a count collapsing to 0 is rel = -1 exactly, and a gate of 1.0 could
+	// never fire on any decrease. Handoff/shed/migration counts depend on
+	// where in the run the drain lands relative to each client's outage,
+	// so they only note drift.
+	"shards":         {BothWays, 0},
+	"shard_sessions": {BothWays, 0.9},
+	"handoffs":       {Informational, 0},
+	"sheds":          {Informational, 0},
+	"migrated":       {Informational, 0},
+}
+
+// perShardCheck resolves "shard_sessions.<i>" keys onto the family-wide
+// "shard_sessions" check so per-index metrics gate without enumerating
+// shard counts here.
+func perShardCheck(key string) (Check, bool) {
+	if strings.HasPrefix(key, "shard_sessions.") {
+		c, ok := DefaultChecks["shard_sessions"]
+		return c, ok
+	}
+	c, ok := DefaultChecks[key]
+	return c, ok
 }
 
 // Regression is one failed gate.
@@ -120,6 +148,13 @@ func metricValues(m Metrics) map[string]float64 {
 		"stale_frames":            float64(m.StaleFrames),
 		"recovery_mean_ms":        m.RecoveryMeanMS,
 		"miou_delta_pct":          m.MIoUDeltaPct,
+		"shards":                  float64(m.Shards),
+		"handoffs":                float64(m.Handoffs),
+		"sheds":                   float64(m.Sheds),
+		"migrated":                float64(m.Migrated),
+	}
+	for i, n := range m.ShardSessions {
+		out[fmt.Sprintf("shard_sessions.%d", i)] = float64(n)
 	}
 	for k, v := range m.Extra {
 		out["extra."+k] = v
@@ -164,7 +199,7 @@ func Compare(base, current BenchFile, tolOverride map[string]float64) (regs []Re
 		sort.Strings(keys)
 		for _, k := range keys {
 			b, c := bv[k], cv[k]
-			check, hasCheck := DefaultChecks[k]
+			check, hasCheck := perShardCheck(k)
 			if tol, ok := tolOverride[k]; ok {
 				if !hasCheck {
 					check = Check{Dir: BothWays}

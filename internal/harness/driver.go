@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/netsim"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -48,6 +49,25 @@ func workloadConfig(spec Spec, client int) (video.Config, error) {
 func localKeyFrameBytes() int {
 	img := tensor.New(3, video.DefaultH, video.DefaultW)
 	return transport.KeyFrameWireBytes(transport.KeyFrame{Image: img})
+}
+
+// sessionID picks client c's requested session ID. The default 1-based
+// numbering spreads roughly uniformly under rendezvous hashing; HashSkew
+// instead walks the ID space for IDs whose fabric home is shard 0, building
+// the deliberate hotspot the admission-control scenarios need.
+func sessionID(spec Spec, c int) uint64 {
+	if spec.Shards <= 1 || !spec.HashSkew {
+		return uint64(c + 1)
+	}
+	hits := 0
+	for id := uint64(1); ; id++ {
+		if fabric.ShardFor(id, spec.Shards) == 0 {
+			if hits == c {
+				return id
+			}
+			hits++
+		}
+	}
 }
 
 // clientDialer returns the dial function of one client: loopback TCP,
@@ -117,14 +137,43 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	mgr, err := serve.NewManager(serve.Options{
-		Cfg:         cfg,
-		Base:        base,
-		Teacher:     teacher.NewOracle(spec.Seed + 997),
-		MaxSessions: spec.Clients,
-		MaxBatch:    spec.MaxBatch,
-		EncodeDiff:  enc,
-	})
+	// The serving tier: one serve.Manager, or — for fleet scenarios — a
+	// fabric.Router spreading sessions over Shards shard workers, each with
+	// its own teacher replica and resume store.
+	var (
+		mgr    *serve.Manager
+		router *fabric.Router
+	)
+	if spec.Shards > 1 {
+		perShard := spec.ShardCapacity
+		if perShard <= 0 {
+			perShard = spec.Clients
+		}
+		router, err = fabric.NewRouter(fabric.Options{
+			Shards: spec.Shards,
+			Shard: func(i int) serve.Options {
+				return serve.Options{
+					Cfg:  cfg,
+					Base: base,
+					// One teacher replica per shard (teachers serialise
+					// behind their batcher and cannot be shared).
+					Teacher:     teacher.NewOracle(spec.Seed + 997 + int64(i)*7919),
+					MaxSessions: perShard,
+					MaxBatch:    spec.MaxBatch,
+					EncodeDiff:  enc,
+				}
+			},
+		})
+	} else {
+		mgr, err = serve.NewManager(serve.Options{
+			Cfg:         cfg,
+			Base:        base,
+			Teacher:     teacher.NewOracle(spec.Seed + 997),
+			MaxSessions: spec.Clients,
+			MaxBatch:    spec.MaxBatch,
+			EncodeDiff:  enc,
+		})
+	}
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -133,8 +182,27 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- mgr.ServeListener(ln) }()
+	// Capacity 2: the serve-loop result plus a possible drain error, so
+	// neither sender can block after Drive has returned.
+	serveErr := make(chan error, 2)
+	if router != nil {
+		go func() { serveErr <- router.ServeListener(ln) }()
+	} else {
+		go func() { serveErr <- mgr.ServeListener(ln) }()
+	}
+	if router != nil && spec.DrainAfter > 0 {
+		drainTimer := time.AfterFunc(spec.DrainAfter, func() {
+			if _, err := router.Drain(spec.DrainShard); err != nil {
+				// Draining an already-drained or last shard is a scenario
+				// authoring error; surface it through the serve loop result.
+				select {
+				case serveErr <- err:
+				default:
+				}
+			}
+		})
+		defer drainTimer.Stop()
+	}
 
 	clients := make([]*core.Client, spec.Clients)
 	errs := make([]error, spec.Clients)
@@ -166,7 +234,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 				Student:      base.Clone(),
 				EvalTeacher:  teacher.NewOracle(spec.Seed + 997),
 				EvalEvery:    spec.EvalEvery,
-				SessionID:    uint64(c + 1),
+				SessionID:    sessionID(spec, c),
 				DecodeDiff:   dec,
 				TrackLatency: true,
 			}
@@ -177,13 +245,27 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 				cl.Dial = dial
 				cl.ResumeBackoff = 20 * time.Millisecond
 			}
+			if spec.Shards > 1 {
+				// Fleet scenarios need the redial path for admission
+				// shedding (and, with a hotspot, enough patience to wait
+				// out the watermark: sessions ahead of us must finish).
+				cl.Dial = dial
+				if cl.ResumeBackoff == 0 {
+					cl.ResumeBackoff = 25 * time.Millisecond
+				}
+				cl.MaxResumeAttempts = 120
+			}
 			errs[c] = cl.Run(conn, gen, spec.Frames)
 			clients[c] = cl
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if err := mgr.Close(); err != nil {
+	if router != nil {
+		if err := router.Close(); err != nil {
+			return Metrics{}, err
+		}
+	} else if err := mgr.Close(); err != nil {
 		return Metrics{}, err
 	}
 	if err := <-serveErr; err != nil {
@@ -244,7 +326,20 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	m.BytesUpHDMB = netsim.HDScale(up, kfBytes) / 1e6
 	m.BytesDownHDMB = netsim.HDScale(down, kfBytes) / 1e6
 
-	ms := mgr.Stats()
+	var ms serve.Stats
+	if router != nil {
+		fs := router.Stats()
+		ms = fs.Agg
+		m.Shards = spec.Shards
+		m.Handoffs = fs.Handoffs
+		m.Sheds = fs.Sheds
+		m.Migrated = fs.Migrated
+		for _, ss := range fs.Shards {
+			m.ShardSessions = append(m.ShardSessions, ss.SessionsServed)
+		}
+	} else {
+		ms = mgr.Stats()
+	}
 	m.TeacherMeanBatch = ms.Teacher.MeanBatch()
 	m.MeanDistillSteps = ms.MeanDistillSteps()
 	m.DistillStepMS = float64(ms.MeanStepLatency()) / float64(time.Millisecond)

@@ -1,0 +1,62 @@
+package harness
+
+import "time"
+
+// Fleet scenarios exercise the sharded serving fabric (internal/fabric):
+// rendezvous placement over N shard workers, admission-control shedding at
+// the per-shard watermark, shard drain with parked-session migration, and
+// cross-shard session handoff on resume. The single-shard twin of the
+// uniform population doubles as the scaling baseline BenchmarkFabricThroughput
+// compares against.
+//
+// The chaos members reuse the PR 4 fault scripting: cuts are placed at
+// exact wire offsets (wireSizes in chaos.go), so "the cut lands after the
+// fourth student diff" is the same byte on every machine. Cut offsets are
+// chosen deep enough into the stream that the scripted drain has already
+// happened by the time a session parks — its resume then provably hashes
+// to a surviving shard and must ride the handoff path, with the journal
+// travelling inside the envelope so recovery still replays (zero full
+// resends, the PR 4 single-shard bound).
+// fleetCutAfterDiff returns a download-direction cut offset landing in the
+// middle of the (n+1)-th student diff — deep enough into the stream that a
+// scenario's scripted drain has fired first.
+func fleetCutAfterDiff(n int64) []int64 {
+	helloAck, fullMsg, diffMsg := wireSizes()
+	return []int64{helloAck + fullMsg + n*diffMsg + diffMsg/2}
+}
+
+func init() {
+	afterDiff := fleetCutAfterDiff
+
+	Register(Scenario{
+		Name: "fleet/uniform",
+		Desc: "64 sessions rendezvous-spread over 4 shard workers",
+		Spec: Spec{Workload: "mixed", Clients: 64, Frames: 24, EvalEvery: 8, Shards: 4},
+	})
+	Register(Scenario{
+		Name: "fleet/uniform-1shard",
+		Desc: "the 64-session population on one shard: the scaling baseline",
+		Spec: Spec{Workload: "mixed", Clients: 64, Frames: 24, EvalEvery: 8, Shards: 1},
+	})
+	Register(Scenario{
+		Name: "fleet/skewed-hash",
+		Desc: "12 sessions hash-skewed onto one shard with watermark 4: admission shedding + client backoff",
+		Spec: Spec{Workload: "mixed", Clients: 12, Frames: 60, Shards: 4,
+			HashSkew: true, ShardCapacity: 4},
+	})
+	Register(Scenario{
+		Name: "fleet/shard-drain-under-load",
+		Desc: "12 sessions on 4 shards; shard 1 drains mid-run while scripted cuts park sessions",
+		Spec: Spec{Workload: "mixed", Clients: 12, Frames: 72, Shards: 4,
+			ChaosCuts: afterDiff(2), ChaosDownCut: true,
+			DrainShard: 1, DrainAfter: 1200 * time.Millisecond},
+	})
+	Register(Scenario{
+		Name: "fleet/chaos-reconnect-to-other-shard",
+		Desc: "8 sessions homed on shard 0; it drains, then every session cuts and must resume cross-shard via handoff",
+		Spec: Spec{Workload: "mixed", Clients: 8, Frames: 80, Shards: 4,
+			HashSkew:  true,
+			ChaosCuts: afterDiff(4), ChaosDownCut: true,
+			DrainShard: 0, DrainAfter: 1500 * time.Millisecond},
+	})
+}

@@ -17,9 +17,11 @@ import (
 // breaking change to the Metrics JSON layout (a golden test pins it).
 // Version 2 added the session-resilience block (reconnects, resume
 // replays, full resends, stale frames, recovery latency, mIoU delta).
+// Version 3 added the sharded-fabric block (shard count, per-shard
+// sessions served, handoffs, sheds, drain migrations).
 const (
 	Schema        = "shadowtutor-bench"
-	SchemaVersion = 2
+	SchemaVersion = 3
 )
 
 // Metrics is the structured result of one scenario run. Field meanings:
@@ -67,6 +69,19 @@ type Metrics struct {
 	StaleFrames    int     `json:"stale_frames,omitempty"`
 	RecoveryMeanMS float64 `json:"recovery_mean_ms,omitempty"`
 	MIoUDeltaPct   float64 `json:"miou_delta_pct,omitempty"`
+
+	// Sharded-fabric metrics, populated when the scenario runs the serving
+	// tier as a fabric.Router over >1 shard workers (fleet families).
+	// ShardSessions is sessions served per shard index — the occupancy
+	// profile rendezvous hashing produced; Handoffs counts resumes served
+	// by pulling the parked session from another shard; Sheds counts
+	// admission-control retryable rejects at the capacity watermark;
+	// Migrated counts parked sessions moved by shard drains.
+	Shards        int     `json:"shards,omitempty"`
+	ShardSessions []int64 `json:"shard_sessions,omitempty"`
+	Handoffs      int64   `json:"handoffs,omitempty"`
+	Sheds         int64   `json:"sheds,omitempty"`
+	Migrated      int64   `json:"migrated,omitempty"`
 
 	// Extra carries family-specific metrics (ablation columns, codec byte
 	// counts). Keys are stable snake_case; benchdiff treats them as

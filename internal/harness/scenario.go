@@ -58,6 +58,24 @@ type Spec struct {
 	// ChaosStall, when positive, turns the scripted faults into stalls of
 	// this duration (latency spikes without connection loss).
 	ChaosStall time.Duration
+	// Shards runs the serving tier as a fabric.Router over this many shard
+	// workers instead of one serve.Manager (0 or 1 keeps the single-shard
+	// path). The fleet/* families exercise it.
+	Shards int
+	// ShardCapacity is the per-shard admission watermark (active sessions)
+	// when Shards > 1; beyond it the router sheds fresh Hellos with a
+	// retryable reject and the client backs off. 0 defaults to Clients, so
+	// uniformly hashed populations never shed.
+	ShardCapacity int
+	// HashSkew, with Shards > 1, assigns every client a session ID that
+	// rendezvous-hashes to shard 0 — the adversarial hotspot that drives
+	// the watermark/shedding machinery.
+	HashSkew bool
+	// DrainShard and DrainAfter script a mid-run shard drain: DrainAfter
+	// into the run, shard index DrainShard leaves the placement set and its
+	// parked sessions migrate to surviving shards. Zero DrainAfter disables.
+	DrainShard int
+	DrainAfter time.Duration
 }
 
 func (s *Spec) setDefaults() {

@@ -63,6 +63,21 @@ func goldenBench() BenchFile {
 			MIoUDeltaPct:    -1.1,
 			Extra:           map[string]float64{"clean_miou": 0.226},
 		},
+		{
+			Scenario:        "fleet/chaos-reconnect-to-other-shard",
+			Family:          "fleet",
+			Workload:        "mixed",
+			Clients:         8,
+			FramesPerClient: 80,
+			MeanIoU:         0.21,
+			Reconnects:      8,
+			ResumeReplays:   8,
+			Shards:          4,
+			ShardSessions:   []int64{0, 3, 2, 3},
+			Handoffs:        6,
+			Sheds:           0,
+			Migrated:        2,
+		},
 	})
 }
 

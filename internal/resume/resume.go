@@ -178,6 +178,38 @@ func (s *Store) Take(id, epoch uint64) (*Session, error) {
 	return sess, nil
 }
 
+// Steal removes and returns the parked session with the given ID without
+// an epoch check. It is the cross-shard handoff path (internal/fabric):
+// the router owns both sides of the transfer and re-parks the session on
+// its new home shard, where the ordinary epoch-checked Take still gates
+// the client's resume. Stolen sessions do not report through OnEvict —
+// they are moving, not dying.
+func (s *Store) Steal(id uint64) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sess := s.sessions[id]
+	if sess == nil {
+		return nil, fmt.Errorf("%w: session %d", ErrUnknown, id)
+	}
+	delete(s.sessions, id)
+	return sess, nil
+}
+
+// IDs returns the IDs of every parked session (unordered). A shard drain
+// walks this list to migrate its parked sessions elsewhere.
+func (s *Store) IDs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]uint64, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
 // Len returns the number of parked sessions.
 func (s *Store) Len() int {
 	s.mu.Lock()

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/resume"
+	"repro/internal/tensor"
+)
+
+// This file makes a parked session a fully serializable value: a
+// SessionEnvelope captures everything the server holds for one client —
+// student weights, Adam moments and step counter, diff/key-frame sequence
+// counters, epochs, the replay journal, and the distillation statistics
+// that will eventually fold into aggregate stats. A router (internal/fabric)
+// uses it for cross-shard handoff: when a resume hashes to a shard that
+// does not own the parked state, the router exports the envelope from the
+// session's old home and imports it on the new one, and a shard drain
+// migrates parked sessions the same way instead of evicting them.
+
+// envelopeMagic versions the envelope wire format.
+var envelopeMagic = [4]byte{'S', 'T', 'H', '1'}
+
+// Envelope limits: a journal is a small bounded ring and the tensors of
+// one student; anything past these is a corrupt or hostile envelope and
+// must fail the decode before any large allocation.
+const (
+	maxEnvelopeJournal = 1 << 16
+	maxEnvelopeBlob    = 1 << 28
+)
+
+// SessionEnvelope is the decoded, self-contained state of one parked
+// session. Params carries the full student checkpoint; AdamM/AdamV carry
+// the optimizer's first/second moments keyed by parameter name (trainable
+// parameters only — frozen ones never accumulate moments).
+type SessionEnvelope struct {
+	ID       uint64
+	Epoch    uint64
+	AltEpoch uint64
+	LastSeq  uint64
+
+	DiffSeq   uint64
+	LastKFSeq uint64
+
+	AdamStep      int
+	TotalSteps    int
+	TotalTrains   int
+	TotalStepTime time.Duration
+
+	Params []*nn.Parameter
+	AdamM  []*nn.Parameter
+	AdamV  []*nn.Parameter
+
+	Journal []resume.Entry
+}
+
+// errNotExportable reports session state the envelope codec does not
+// understand (a Store owner other than this package).
+var errNotExportable = errors.New("serve: session state is not an exportable core.Server")
+
+// momentsToParams flattens an optimizer moment map into name-sorted
+// parameters so the envelope encoding is deterministic.
+func momentsToParams(m map[string]*tensor.Tensor) []*nn.Parameter {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*nn.Parameter, 0, len(names))
+	for _, n := range names {
+		out = append(out, &nn.Parameter{Name: n, Value: m[n]})
+	}
+	return out
+}
+
+func paramsToMoments(ps []*nn.Parameter) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(ps))
+	for _, p := range ps {
+		out[p.Name] = p.Value
+	}
+	return out
+}
+
+func writeBlob(buf *bytes.Buffer, params []*nn.Parameter) error {
+	var blob bytes.Buffer
+	if err := nn.WriteNamed(&blob, params); err != nil {
+		return err
+	}
+	binary.Write(buf, binary.LittleEndian, uint32(blob.Len()))
+	buf.Write(blob.Bytes())
+	return nil
+}
+
+func readBlob(r *bytes.Reader, what string) ([]*nn.Parameter, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("serve: envelope %s length: %w", what, err)
+	}
+	if n > maxEnvelopeBlob || int64(n) > int64(r.Len()) {
+		return nil, fmt.Errorf("serve: envelope %s claims %d bytes, %d remain", what, n, r.Len())
+	}
+	blob := make([]byte, n)
+	if _, err := r.Read(blob); err != nil {
+		return nil, fmt.Errorf("serve: envelope %s body: %w", what, err)
+	}
+	br := bytes.NewReader(blob)
+	params, err := nn.ReadNamed(br)
+	if err != nil {
+		return nil, fmt.Errorf("serve: envelope %s params: %w", what, err)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("serve: envelope %s has %d trailing bytes", what, br.Len())
+	}
+	return params, nil
+}
+
+// EncodeSession serialises a parked session (whose State must be the
+// *core.Server this package parks) into a self-contained handoff envelope.
+func EncodeSession(ds *resume.Session) ([]byte, error) {
+	srv, ok := ds.State.(*core.Server)
+	if !ok {
+		return nil, errNotExportable
+	}
+	adam, ok := srv.Distiller.Opt.(*optim.Adam)
+	if !ok {
+		return nil, fmt.Errorf("serve: session %d optimizer %T is not handoff-serializable", ds.ID, srv.Distiller.Opt)
+	}
+	step, mm, vv := adam.ExportState()
+
+	var buf bytes.Buffer
+	buf.Write(envelopeMagic[:])
+	for _, u := range []uint64{
+		ds.ID, ds.Epoch, ds.AltEpoch, ds.LastSeq,
+		srv.DiffSeq, srv.LastKFSeq,
+		uint64(step), uint64(srv.Distiller.TotalSteps), uint64(srv.Distiller.TotalTrains),
+		uint64(srv.Distiller.TotalStepTime),
+	} {
+		binary.Write(&buf, binary.LittleEndian, u)
+	}
+	if err := writeBlob(&buf, srv.Distiller.Student.Params.All()); err != nil {
+		return nil, err
+	}
+	if err := writeBlob(&buf, momentsToParams(mm)); err != nil {
+		return nil, err
+	}
+	if err := writeBlob(&buf, momentsToParams(vv)); err != nil {
+		return nil, err
+	}
+	var entries []resume.Entry
+	if ds.Journal != nil {
+		entries = ds.Journal.All()
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(len(entries)))
+	for _, e := range entries {
+		binary.Write(&buf, binary.LittleEndian, e.Seq)
+		binary.Write(&buf, binary.LittleEndian, uint32(len(e.Body)))
+		buf.Write(e.Body)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSessionEnvelope parses a handoff envelope. It validates framing,
+// blob bounds and journal monotonicity so a corrupt envelope fails the
+// decode instead of panicking the importing shard (the journal ring panics
+// on non-increasing appends by contract).
+func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
+	r := bytes.NewReader(b)
+	var magic [4]byte
+	if _, err := r.Read(magic[:]); err != nil || magic != envelopeMagic {
+		return nil, fmt.Errorf("serve: bad envelope magic %q", magic[:])
+	}
+	var env SessionEnvelope
+	var step, totalSteps, totalTrains, stepTime uint64
+	for _, dst := range []*uint64{
+		&env.ID, &env.Epoch, &env.AltEpoch, &env.LastSeq,
+		&env.DiffSeq, &env.LastKFSeq,
+		&step, &totalSteps, &totalTrains, &stepTime,
+	} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("serve: envelope header: %w", err)
+		}
+	}
+	// The counters are small non-negative ints in practice; reject values
+	// that would overflow int so downstream arithmetic stays sane.
+	const maxCounter = 1 << 48
+	if step > maxCounter || totalSteps > maxCounter || totalTrains > maxCounter {
+		return nil, fmt.Errorf("serve: envelope implausible counters (%d, %d, %d)", step, totalSteps, totalTrains)
+	}
+	env.AdamStep = int(step)
+	env.TotalSteps = int(totalSteps)
+	env.TotalTrains = int(totalTrains)
+	env.TotalStepTime = time.Duration(stepTime)
+
+	var err error
+	if env.Params, err = readBlob(r, "student"); err != nil {
+		return nil, err
+	}
+	if env.AdamM, err = readBlob(r, "adam-m"); err != nil {
+		return nil, err
+	}
+	if env.AdamV, err = readBlob(r, "adam-v"); err != nil {
+		return nil, err
+	}
+
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("serve: envelope journal count: %w", err)
+	}
+	if count > maxEnvelopeJournal {
+		return nil, fmt.Errorf("serve: envelope implausible journal of %d entries", count)
+	}
+	var lastSeq uint64
+	for i := uint32(0); i < count; i++ {
+		var seq uint64
+		if err := binary.Read(r, binary.LittleEndian, &seq); err != nil {
+			return nil, fmt.Errorf("serve: envelope journal seq: %w", err)
+		}
+		if seq <= lastSeq {
+			return nil, fmt.Errorf("serve: envelope journal seq %d not after %d", seq, lastSeq)
+		}
+		lastSeq = seq
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("serve: envelope journal body length: %w", err)
+		}
+		if int64(n) > int64(r.Len()) {
+			return nil, fmt.Errorf("serve: envelope journal body claims %d bytes, %d remain", n, r.Len())
+		}
+		body := make([]byte, n)
+		if _, err := r.Read(body); err != nil && n > 0 {
+			return nil, fmt.Errorf("serve: envelope journal body: %w", err)
+		}
+		env.Journal = append(env.Journal, resume.Entry{Seq: seq, Body: body})
+	}
+	if env.DiffSeq < lastSeq {
+		return nil, fmt.Errorf("serve: envelope diff seq %d behind journal head %d", env.DiffSeq, lastSeq)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("serve: envelope has %d trailing bytes", r.Len())
+	}
+	return &env, nil
+}
+
+// ExportParked removes the parked session with the given ID from this
+// manager and returns its serialized envelope — one half of a cross-shard
+// handoff or drain migration. The session's distillation counters travel
+// inside the envelope, so nothing folds into this manager's stats (the
+// session is moving, not completing). On encode failure the session is
+// re-parked unchanged.
+func (m *Manager) ExportParked(id uint64) ([]byte, error) {
+	if m.store == nil {
+		return nil, errors.New("serve: resumption disabled, nothing to export")
+	}
+	ds, err := m.store.Steal(id)
+	if err != nil {
+		return nil, err
+	}
+	env, err := EncodeSession(ds)
+	if err != nil {
+		m.store.Put(ds)
+		return nil, err
+	}
+	m.logf("session %d exported for handoff (epoch %d, %d journaled diffs)",
+		ds.ID, ds.Epoch, ds.Journal.Len())
+	return env, nil
+}
+
+// ImportParked rebuilds a session from a handoff envelope and parks it on
+// this manager as if it had detached here: a later Resume finds it through
+// the ordinary epoch-checked path, with the full replay journal intact.
+// The TTL clock restarts on import (the handoff is a fresh detachment from
+// this shard's point of view). The student is reconstructed over a clone of
+// this manager's base checkpoint, so the architectures must match — which
+// they do by construction when every shard of a fabric shares one Options
+// template.
+func (m *Manager) ImportParked(envBytes []byte) error {
+	if m.store == nil {
+		return errors.New("serve: resumption disabled, cannot import")
+	}
+	env, err := DecodeSessionEnvelope(envBytes)
+	if err != nil {
+		return err
+	}
+
+	srv := core.NewServer(m.opts.Cfg, m.opts.Base.Clone(), m.batcher)
+	srv.EncodeDiff = m.opts.EncodeDiff
+	if err := nn.ApplyNamed(srv.Distiller.Student.Params, env.Params); err != nil {
+		return fmt.Errorf("serve: envelope student mismatch: %w", err)
+	}
+	srv.DiffSeq = env.DiffSeq
+	srv.LastKFSeq = env.LastKFSeq
+	srv.Distiller.TotalSteps = env.TotalSteps
+	srv.Distiller.TotalTrains = env.TotalTrains
+	srv.Distiller.TotalStepTime = env.TotalStepTime
+	adam, ok := srv.Distiller.Opt.(*optim.Adam)
+	if !ok {
+		return fmt.Errorf("serve: optimizer %T cannot adopt envelope state", srv.Distiller.Opt)
+	}
+	adam.ImportState(env.AdamStep, paramsToMoments(env.AdamM), paramsToMoments(env.AdamV))
+
+	depth := m.opts.JournalDepth
+	if len(env.Journal) > depth {
+		depth = len(env.Journal)
+	}
+	journal := resume.NewJournal(depth)
+	for _, e := range env.Journal {
+		journal.Append(e.Seq, e.Body)
+	}
+	srv.OnDiff = journal.Append
+
+	err = m.store.Put(&resume.Session{
+		ID:       env.ID,
+		Epoch:    env.Epoch,
+		AltEpoch: env.AltEpoch,
+		LastSeq:  env.LastSeq,
+		State:    srv,
+		Journal:  journal,
+	})
+	if err != nil {
+		return err
+	}
+	m.logf("session %d imported via handoff (epoch %d, %d journaled diffs)",
+		env.ID, env.Epoch, len(env.Journal))
+	return nil
+}

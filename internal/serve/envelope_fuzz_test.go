@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/resume"
+	"repro/internal/teacher"
+)
+
+// seedEnvelope builds a small, structurally valid envelope so the fuzzer
+// starts from real framing instead of rediscovering the magic by chance.
+func seedEnvelope() []byte {
+	cfg := core.DefaultConfig()
+	srv := core.NewServer(cfg, tinyStudent(41), teacher.NewOracle(7))
+	srv.DiffSeq, srv.LastKFSeq = 3, 3
+	j := resume.NewJournal(4)
+	j.Append(2, []byte{1, 2, 3})
+	j.Append(3, []byte{4, 5})
+	env, err := EncodeSession(&resume.Session{ID: 7, Epoch: 2, AltEpoch: 1, LastSeq: 3, State: srv, Journal: j})
+	if err != nil {
+		return nil
+	}
+	return env
+}
+
+// FuzzDecodeSessionEnvelope hammers the handoff envelope decoder: it must
+// never panic or force a giant allocation on corrupt input (a hardened
+// boundary even though envelopes travel router-internal today), and any
+// envelope it accepts must satisfy its own invariants — in particular the
+// strictly increasing journal, which the Journal ring turns into a panic
+// on import if the decoder ever lets a violation through.
+func FuzzDecodeSessionEnvelope(f *testing.F) {
+	if env := seedEnvelope(); env != nil {
+		f.Add(env)
+	}
+	f.Add([]byte("STH1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dec, err := DecodeSessionEnvelope(b)
+		if err != nil {
+			return
+		}
+		var last uint64
+		for _, e := range dec.Journal {
+			if e.Seq <= last {
+				t.Fatalf("accepted journal with non-increasing seq %d after %d", e.Seq, last)
+			}
+			last = e.Seq
+		}
+		if dec.DiffSeq < last {
+			t.Fatalf("accepted diff seq %d behind journal head %d", dec.DiffSeq, last)
+		}
+		// The decoder is pure: the same bytes must decode identically.
+		again, err2 := DecodeSessionEnvelope(b)
+		if err2 != nil || again.ID != dec.ID || len(again.Journal) != len(dec.Journal) {
+			t.Fatal("decoder not deterministic")
+		}
+	})
+}

@@ -77,6 +77,13 @@ type Options struct {
 	// MaxDetached caps sessions parked for resumption; beyond it the
 	// oldest is evicted (default MaxSessions).
 	MaxDetached int
+	// IDOffset and IDStride partition the fallback session-ID space when
+	// several managers serve one fabric (internal/fabric gives shard i of N
+	// offset i, stride N): fallback-assigned IDs are IDOffset + k·IDStride,
+	// k ≥ 1, so no two shards can ever mint the same ID concurrently. The
+	// defaults (0, 1) reproduce the standalone numbering 1, 2, 3, …
+	IDOffset uint64
+	IDStride uint64
 	// EncodeDiff, when non-nil, is installed on every session's core.Server
 	// so outgoing student diffs are encoded with a custom codec (see
 	// core.Server.EncodeDiff and internal/harness).
@@ -112,7 +119,10 @@ type Stats struct {
 }
 
 // MeanDistillSteps is the mean number of optimisation steps per key frame
-// across completed sessions.
+// across completed sessions. A manager that has completed no sessions (or
+// only sessions whose every key frame skipped optimisation) reports 0
+// rather than dividing by zero — shards start empty, and a router folding
+// shard stats must be able to call this on any partial aggregate.
 func (s Stats) MeanDistillSteps() float64 {
 	if s.KeyFrames == 0 {
 		return 0
@@ -121,12 +131,35 @@ func (s Stats) MeanDistillSteps() float64 {
 }
 
 // MeanStepLatency is the mean wall time of one distillation step across
-// completed sessions.
+// completed sessions (0 when no steps have been taken — see
+// MeanDistillSteps on the zero-session guard).
 func (s Stats) MeanStepLatency() time.Duration {
 	if s.DistillSteps == 0 {
 		return 0
 	}
 	return s.DistillTime / time.Duration(s.DistillSteps)
+}
+
+// Add folds another manager's stats into s and returns the sum — the
+// associative merge a router (internal/fabric) uses to aggregate shard
+// workers. Every field is a raw sum (gauges like Active and Detached sum
+// across disjoint shards; the teacher block merges via
+// teacher.BatchStats.Add), so fold order cannot change the result and the
+// mean helpers — which re-derive from summed numerators and denominators —
+// never average averages or divide by a shard-local zero.
+func (s Stats) Add(o Stats) Stats {
+	s.SessionsServed += o.SessionsServed
+	s.Active += o.Active
+	s.KeyFrames += o.KeyFrames
+	s.DistillSteps += o.DistillSteps
+	s.DistillTime += o.DistillTime
+	s.Teacher = s.Teacher.Add(o.Teacher)
+	s.Detached += o.Detached
+	s.Resumed += o.Resumed
+	s.ResumeReplays += o.ResumeReplays
+	s.ResumeFulls += o.ResumeFulls
+	s.Evicted += o.Evicted
+	return s
 }
 
 type session struct {
@@ -198,6 +231,9 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.MaxDetached <= 0 {
 		opts.MaxDetached = opts.MaxSessions
 	}
+	if opts.IDStride == 0 {
+		opts.IDStride = 1
+	}
 	m := &Manager{
 		opts:    opts,
 		batcher: b,
@@ -205,6 +241,7 @@ func NewManager(opts Options) (*Manager, error) {
 		quit:    make(chan struct{}),
 		active:  map[uint64]*session{},
 		conns:   map[transport.Conn]struct{}{},
+		nextID:  opts.IDOffset,
 	}
 	if opts.ResumeTTL > 0 {
 		m.store = resume.NewStore(resume.Options{
@@ -222,24 +259,57 @@ func NewManager(opts Options) (*Manager, error) {
 // The first message routes the connection: a Hello opens a fresh session,
 // a Resume re-attaches a detached one.
 func (m *Manager) Handle(conn transport.Conn) error {
-	if !m.track() {
+	release, ok := m.acquire(conn)
+	if !ok {
 		return ErrClosed
 	}
-	defer m.wg.Done()
-	select {
-	case m.slots <- struct{}{}:
-	case <-m.quit:
-		return ErrClosed
-	}
-	defer func() { <-m.slots }()
-
-	m.trackConn(conn)
-	defer m.untrackConn(conn)
-
+	defer release()
 	first, err := conn.Recv()
 	if err != nil {
 		return fmt.Errorf("serve: reading handshake: %w", err)
 	}
+	return m.dispatch(conn, first)
+}
+
+// HandleFirst is Handle for a connection whose first message was already
+// read — a router frontend (internal/fabric) peeks at the opening frame to
+// place the session on a shard, then hands both here.
+func (m *Manager) HandleFirst(conn transport.Conn, first transport.Message) error {
+	release, ok := m.acquire(conn)
+	if !ok {
+		return ErrClosed
+	}
+	defer release()
+	return m.dispatch(conn, first)
+}
+
+// acquire performs session admission for one connection: register with the
+// shutdown WaitGroup, take a MaxSessions slot (blocking until one frees),
+// and track the conn for force-close on drain timeout. ok is false when
+// the manager is closed; otherwise the caller must invoke release when the
+// session ends.
+func (m *Manager) acquire(conn transport.Conn) (release func(), ok bool) {
+	if !m.track() {
+		return nil, false
+	}
+	select {
+	case m.slots <- struct{}{}:
+	case <-m.quit:
+		m.wg.Done()
+		return nil, false
+	}
+	m.trackConn(conn)
+	return func() {
+		m.untrackConn(conn)
+		<-m.slots
+		m.wg.Done()
+	}, true
+}
+
+// dispatch routes an opened connection by its first message: Resume
+// re-attaches a detached session, anything else runs the fresh-Hello path
+// (which rejects non-Hello types).
+func (m *Manager) dispatch(conn transport.Conn, first transport.Message) error {
 	if first.Type == transport.MsgResume {
 		return m.handleResume(conn, first)
 	}
@@ -495,7 +565,7 @@ func (m *Manager) register(requested uint64, srv *core.Server, journal *resume.J
 	id = requested
 	if id == 0 || m.active[id] != nil || m.parked(id) {
 		for {
-			m.nextID++
+			m.nextID += m.opts.IDStride
 			if m.active[m.nextID] == nil && !m.parked(m.nextID) {
 				id = m.nextID
 				break
@@ -572,6 +642,59 @@ func (m *Manager) ServeListener(ln *transport.Listener) error {
 			m.Handle(conn)
 		}()
 	}
+}
+
+// Load reports the number of active sessions against the manager's
+// capacity (MaxSessions). A router frontend consults it for admission
+// control: the watermark check happens before the session is handed over,
+// so an over-capacity shard sheds with a retryable reject instead of
+// silently queueing the connection on the slot channel.
+func (m *Manager) Load() (active, capacity int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active), m.opts.MaxSessions
+}
+
+// SessionState classifies what the manager knows about a session ID.
+type SessionState int
+
+// Session states, as reported by Manager.SessionState.
+const (
+	// SessionNone: the manager has never seen the ID, or the session
+	// completed or was evicted.
+	SessionNone SessionState = iota
+	// SessionActive: the session is attached to a live connection.
+	SessionActive
+	// SessionParked: the session is detached, awaiting resumption.
+	SessionParked
+)
+
+// SessionState reports whether the given session is active, parked, or
+// unknown on this manager. A router uses it to decide whether a resume that
+// hashed to another shard needs a cross-shard handoff. The answer is a
+// snapshot — the authoritative check is the reattach under the manager's
+// own lock, which handles every race (still-attached, just-evicted) with
+// the proper protocol status.
+func (m *Manager) SessionState(id uint64) SessionState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active[id] != nil {
+		return SessionActive
+	}
+	if m.parked(id) {
+		return SessionParked
+	}
+	return SessionNone
+}
+
+// ParkedIDs returns the IDs of every detached session awaiting resumption
+// (unordered; empty when resumption is disabled). A drain walks this list
+// to migrate parked state to surviving shards.
+func (m *Manager) ParkedIDs() []uint64 {
+	if m.store == nil {
+		return nil
+	}
+	return m.store.IDs()
 }
 
 // Sessions snapshots the currently active sessions.

@@ -58,6 +58,20 @@ func (s BatchStats) MeanBatch() float64 {
 	return float64(s.Requests) / float64(s.Batches)
 }
 
+// Add folds another queue's stats into s and returns the sum — the
+// associative merge a sharded serving tier (internal/fabric) uses to
+// aggregate per-shard batchers. Counters sum; MaxBatch takes the max;
+// MeanBatch stays correct because it re-derives from the summed
+// numerator/denominator instead of averaging per-shard means.
+func (s BatchStats) Add(o BatchStats) BatchStats {
+	s.Requests += o.Requests
+	s.Batches += o.Batches
+	if o.MaxBatch > s.MaxBatch {
+		s.MaxBatch = o.MaxBatch
+	}
+	return s
+}
+
 type batchReq struct {
 	frame video.Frame
 	out   chan []int32
