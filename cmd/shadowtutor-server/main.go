@@ -43,6 +43,7 @@ func main() {
 		workers     = flag.Int("batch-workers", 2, "teacher queue worker pool size")
 		resumeTTL   = flag.Duration("resume-ttl", 2*time.Minute, "how long a disconnected session stays resumable (negative disables resumption)")
 		journal     = flag.Int("journal-depth", 8, "recent student diffs journaled per session for resume replay")
+		backend     = flag.String("backend", "", "tensor compute backend for every shard's kernels (default: process default; e.g. \"vec\", \"reference\")")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 	cfg.Partial = *partial
 	cfg.Threshold = *threshold
 	cfg.MaxUpdates = *maxUpd
+	cfg.Backend = *backend
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -56,11 +57,19 @@ func main() {
 		list       = flag.Bool("list", false, "list registered harness scenarios and exit")
 		scenario   = flag.String("scenario", "", "run registered scenarios matching this comma-separated list of names/globs (e.g. 'bandwidth-sweep/*')")
 		jsonOut    = flag.String("json", "", "with -scenario: write machine-readable metrics JSON to this path")
+		backend    = flag.String("backend", "", "tensor compute backend for every run (default: process default; see tensor.Backends)")
 	)
 	flag.Parse()
 
 	if *pretrain > 0 {
 		os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", fmt.Sprint(*pretrain))
+	}
+	if *backend != "" {
+		bk, err := tensor.BackendByName(*backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tensor.SetDefaultBackend(bk)
 	}
 	if *list {
 		listScenarios()

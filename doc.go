@@ -49,6 +49,25 @@
 //	go run ./cmd/stbench -frames 600
 //	go run ./cmd/stbench -frames 200 -multiclient 16
 //
+// # Compute backends
+//
+// All tensor math routes through a pluggable compute backend
+// (tensor.Backend): "reference" is the scalar semantic oracle, "vec" (the
+// default) is the register-blocked backend with AVX2+FMA kernels and a
+// portable fallback — a ≥3x distill-step speedup on one core. Select per
+// process with -backend on the server and stbench, or per environment with
+// SHADOWTUTOR_BACKEND; SHADOWTUTOR_NOAVX=1 forces vec's portable kernels:
+//
+//	go run ./cmd/shadowtutor-server -backend reference
+//	go run ./cmd/stbench -frames 200 -backend vec
+//	go run ./cmd/stbench -scenario 'backend/*'
+//
+// The backend/* scenarios run the same distillation workload under every
+// registered backend, and internal/tensor's differential parity suite
+// (plus FuzzBackendParity and the nn gradchecks) gates vec against
+// reference bit-for-bit where exact and within scale-aware float32
+// tolerance elsewhere; see ARCHITECTURE.md "Compute backends".
+//
 // # Scenario harness
 //
 // internal/harness holds the declarative scenario matrix: named

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 	"repro/internal/transport"
 	"repro/internal/video"
 )
@@ -255,6 +256,9 @@ type runState struct {
 func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 	if err := c.Cfg.Validate(); err != nil {
 		return err
+	}
+	if bk, err := tensor.BackendByName(c.Cfg.Backend); err == nil {
+		c.Student.SetBackend(bk)
 	}
 	rs := &runState{}
 	conn, err := c.admit(conn, rs)
@@ -503,7 +507,7 @@ func (c *Client) admit(conn transport.Conn, rs *runState) (transport.Conn, error
 	}
 	backoff := c.ResumeBackoff
 	if backoff <= 0 {
-		backoff = 25 * time.Millisecond
+		backoff = DefaultResumeBackoff
 	}
 	for a := 0; a < attempts; a++ {
 		if conn != nil {
@@ -629,6 +633,11 @@ func (c *Client) apply(rs *runState, d transport.StudentDiff, stride *float64, u
 	return nil
 }
 
+// DefaultResumeBackoff is the delay before an outage's first redial when
+// Client.ResumeBackoff is unset. Chaos twins use it to price a recovery on
+// the simulation clock.
+const DefaultResumeBackoff = 25 * time.Millisecond
+
 // maxResumeBackoff caps the exponential redial delay.
 const maxResumeBackoff = time.Second
 
@@ -646,7 +655,7 @@ func (c *Client) recover(sessionID, epoch, lastApplied uint64, out chan<- recove
 	}
 	backoff := c.ResumeBackoff
 	if backoff <= 0 {
-		backoff = 25 * time.Millisecond
+		backoff = DefaultResumeBackoff
 	}
 	fresh := sessionID == 0 // a session the server never named cannot resume
 	var lastErr error

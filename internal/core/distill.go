@@ -35,13 +35,18 @@ type Distiller struct {
 	evalCM     *metrics.ConfusionMatrix
 	snap       *nn.ParamSet
 	snapSig    int
+	backend    tensor.Backend
 }
 
-// NewDistiller wraps student with a fresh Adam optimizer and sets the
-// freeze state from cfg.Partial.
+// NewDistiller wraps student with a fresh Adam optimizer, sets the freeze
+// state from cfg.Partial and pins the student and training contexts to
+// cfg.Backend (Validate has already established the name resolves; an
+// invalid name here falls back to the process default).
 func NewDistiller(cfg Config, student *nn.Student) *Distiller {
 	student.SetPartial(cfg.Partial)
-	return &Distiller{Cfg: cfg, Student: student, Opt: optim.NewAdam(cfg.LearningRate)}
+	bk, _ := tensor.BackendByName(cfg.Backend)
+	student.SetBackend(bk)
+	return &Distiller{Cfg: cfg, Student: student, Opt: optim.NewAdam(cfg.LearningRate), backend: bk}
 }
 
 // TrainResult reports one Train call.
@@ -79,7 +84,7 @@ func (d *Distiller) Train(frame video.Frame, label []int32) TrainResult {
 		weights = d.weightsBuf
 	}
 	if d.trainCtx == nil {
-		d.trainCtx = nn.NewForwardCtxWS(true, tensor.NewWorkspace())
+		d.trainCtx = nn.NewForwardCtxWS(true, tensor.NewWorkspace().SetBackend(d.backend))
 	}
 	start := time.Now()
 	for i := 0; i < d.Cfg.MaxUpdates; i++ {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nn"
+	"repro/internal/simclock"
 	"repro/internal/teacher"
 	"repro/internal/video"
 )
@@ -88,6 +89,19 @@ type SimConfig struct {
 	// frame, the paper's protocol). Larger values trade fidelity for speed
 	// in quick runs.
 	EvalEvery int
+
+	// UpdateDelay, when non-nil, adds extra virtual-time delay to the n-th
+	// key frame's student update (0-based) on top of the link-derived
+	// transfer time — the deterministic twin of a mid-stream connection
+	// fault: the severed diff is journaled and replayed after the resume
+	// handshake, so it still arrives, late by the recovery cost. A faulted
+	// update also bypasses Algorithm 4's MIN_STRIDE blocking wait: a client
+	// whose connection just dropped cannot block for a diff it does not
+	// know is coming, so it keeps inferring on stale weights until recovery
+	// completes — the simulation analogue of the live harness's
+	// stale_frames. Chaos scenarios use this to compute a
+	// machine-independent accuracy delta on the simulation clock.
+	UpdateDelay func(kfIndex int) time.Duration
 
 	// StridePolicy, when non-nil, replaces Algorithm 2's NextStride for the
 	// §4.1.5 ablation (fixed stride, exponential back-off). It receives the
@@ -239,6 +253,7 @@ type pendingUpdate struct {
 	params       *nn.ParamSet  // trainable snapshot to apply
 	metric       float64
 	steps        int
+	noBlock      bool // faulted in flight: the client cannot block-wait for it
 }
 
 // applyFreeze configures a student's frozen set: the paper's partial mode
@@ -279,7 +294,9 @@ func simulateShadowTutor(sc SimConfig, src video.Source, tch teacher.Teacher, st
 	}
 
 	cm := metrics.NewConfusionMatrix(student.Config.NumClasses)
-	var now time.Duration
+	// All timing runs on the deterministic virtual clock: results depend
+	// only on the schedule and the modeled latencies, never on host speed.
+	clk := new(simclock.Clock)
 	stride := float64(cfg.MinStride)
 	step := cfg.MinStride // "step ← stride" so the first frame is a key frame
 	updated := true
@@ -332,13 +349,19 @@ func simulateShadowTutor(sc SimConfig, src video.Source, tch teacher.Teacher, st
 			} else {
 				serverTime := lat.TeacherInference + time.Duration(tr.Steps)*lat.DistillStep
 				transfer := sc.Link.TransferTime(hdFrameBytes) + sc.Link.TransferTime(diffBytes)
+				if sc.UpdateDelay != nil {
+					if d := sc.UpdateDelay(res.KeyFrames - 1); d > 0 {
+						transfer += d
+						p.noBlock = true
+					}
+				}
 				if sc.Concurrency == FullConcurrency {
-					p.arrivesAt = now + serverTime + transfer
+					p.arrivesAt = clk.Now() + serverTime + transfer
 				} else {
 					// Without concurrency the client stalls for the whole
 					// round trip before continuing (eq. 2 upper bound).
-					now += serverTime + transfer
-					p.arrivesAt = now
+					clk.Advance(serverTime + transfer)
+					p.arrivesAt = clk.Now()
 				}
 			}
 			pending = p
@@ -349,7 +372,7 @@ func simulateShadowTutor(sc SimConfig, src video.Source, tch teacher.Teacher, st
 		// On-device inference of the current frame (key frames included:
 		// Algorithm 4 line 12 runs for every frame).
 		mask, _ := student.Infer(frame.Image)
-		now += lat.StudentInference
+		clk.Advance(lat.StudentInference)
 		step++
 
 		if i%sc.EvalEvery == 0 {
@@ -365,10 +388,12 @@ func simulateShadowTutor(sc SimConfig, src video.Source, tch teacher.Teacher, st
 				}
 			} else {
 				// Blocking wait at MIN_STRIDE (Algorithm 4 lines 15–17).
-				if step == cfg.MinStride && now < pending.arrivesAt {
-					now = pending.arrivesAt
+				// Skipped for faulted updates: the disconnected client has
+				// no arrival to wait on and keeps going on stale weights.
+				if step == cfg.MinStride && !pending.noBlock && clk.Now() < pending.arrivesAt {
+					clk.AdvanceTo(pending.arrivesAt)
 				}
-				if now >= pending.arrivesAt {
+				if clk.Now() >= pending.arrivesAt {
 					applyUpdate(pending)
 					pending = nil
 				}
@@ -376,7 +401,7 @@ func simulateShadowTutor(sc SimConfig, src video.Source, tch teacher.Teacher, st
 		}
 	}
 	res.Frames = sc.Frames
-	res.VirtualTime = now
+	res.VirtualTime = clk.Now()
 	res.MeanIoU = cm.MeanIoU()
 	return res, nil
 }

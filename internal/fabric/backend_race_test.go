@@ -1,0 +1,125 @@
+package fabric
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// mixedBackendRouter builds a 2-shard fabric where shard 0 runs the
+// reference compute backend and shard 1 runs vec, so cross-shard traffic
+// exercises both kernel sets side by side in one process.
+func mixedBackendRouter(t *testing.T, perShard int) *Router {
+	t.Helper()
+	backends := []string{"reference", "vec"}
+	base := tinyBase(41)
+	r, err := NewRouter(Options{
+		Shards: 2,
+		Shard: func(i int) serve.Options {
+			cfg := core.DefaultConfig()
+			cfg.MaxUpdates = 1
+			cfg.Backend = backends[i%len(backends)]
+			// A noise-free oracle: the stock one consumes its rng per Infer,
+			// making outputs depend on cross-session arrival order at the
+			// shared batcher — exactly the nondeterminism this test must not
+			// have in its baseline.
+			tch := teacher.NewOracle(7 + int64(i))
+			tch.BoundaryNoise = 0
+			tch.MissRate = 0
+			return serve.Options{
+				Cfg:          cfg,
+				Base:         base,
+				Teacher:      tch,
+				MaxSessions:  perShard,
+				JournalDepth: 8,
+				Logf:         t.Logf,
+			}
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// runMixedFleet drives 8 concurrent sessions (4 homed on each shard, so 4
+// per backend) through one mixed-backend router and returns the encoded
+// student diffs each session received, keyed by the session's requested ID.
+func runMixedFleet(t *testing.T, frames []video.Frame, kfPerSession int) map[uint64][][]byte {
+	t.Helper()
+	r := mixedBackendRouter(t, 8)
+	ids := make([]uint64, 0, 8)
+	for shard := 0; shard < 2; shard++ {
+		for k := 0; k < 4; k++ {
+			ids = append(ids, idOnShard(shard, k, 2))
+		}
+	}
+	results := make(map[uint64][][]byte, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			c := fconnect(t, r, frames)
+			defer c.conn.Close()
+			c.hello(id)
+			diffs := make([][]byte, 0, kfPerSession)
+			for i := 0; i < kfPerSession; i++ {
+				d := c.keyFrame()
+				enc, err := transport.EncodeStudentDiff(d)
+				if err != nil {
+					t.Errorf("session %d: encode diff: %v", id, err)
+					return
+				}
+				diffs = append(diffs, enc)
+			}
+			mu.Lock()
+			results[id] = diffs
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("fleet run failed")
+	}
+	return results
+}
+
+// TestMixedBackendShardsBitwiseStable runs 8 concurrent sessions against a
+// fabric whose shards use different compute backends, twice, and requires
+// every session's stream of student diffs to be bitwise identical across the
+// two runs. Any shared microkernel scratch, or any accumulation order that
+// depends on scheduling, would show up as a cross-run divergence (and as a
+// data race when the suite runs under -race).
+func TestMixedBackendShardsBitwiseStable(t *testing.T) {
+	frames := testFrames(t, 6)
+	const kfPerSession = 3
+	first := runMixedFleet(t, frames, kfPerSession)
+	second := runMixedFleet(t, frames, kfPerSession)
+	if len(first) != 8 || len(second) != 8 {
+		t.Fatalf("expected 8 sessions per run, got %d and %d", len(first), len(second))
+	}
+	for id, diffs := range first {
+		again, ok := second[id]
+		if !ok {
+			t.Fatalf("session %d missing from second run", id)
+		}
+		if len(diffs) != len(again) {
+			t.Fatalf("session %d: %d diffs vs %d across runs", id, len(diffs), len(again))
+		}
+		for i := range diffs {
+			if !bytes.Equal(diffs[i], again[i]) {
+				t.Fatalf("session %d diff %d not bitwise stable across runs — per-session results depend on concurrent scheduling", id, i)
+			}
+		}
+	}
+}

@@ -3,7 +3,11 @@ package harness
 import (
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
 	"repro/internal/nn"
+	"repro/internal/teacher"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 	"repro/internal/video"
@@ -55,8 +59,74 @@ func dropMidstreamCuts() []int64 {
 	}
 }
 
+// simChaosDelta recomputes the drop-midstream accuracy cost on the
+// deterministic simulation clock. Both scripted cuts sever a student diff
+// mid-flight; the resilience layer journals and replays it, so the update
+// still reaches the client — late by one reconnect handshake plus the
+// retransfer of the severed diff. The twin models exactly that: two
+// identical simulated runs (same stream, oracle, and pretrained student as
+// the experiments suite uses for this workload), with the faulty one adding
+// the recovery cost to the updates the byte offsets cut (the 2nd and 5th,
+// 0-based key frames 1 and 4). Everything runs on simclock virtual time, so
+// the returned delta is bitwise machine-independent — unlike the live run,
+// where host speed shifts which frame each recovered diff lands on.
+func simChaosDelta(spec Spec) (deltaPP, cleanMIoU float64, err error) {
+	// The recovery window is priced from the client's actual constants: the
+	// first-redial backoff, the resume handshake (Hello-ack sized), and the
+	// journal replay of the severed diff. At the default link this is
+	// ~80ms — matching the live harness's measured recovery_mean_ms.
+	helloAck, _, diffMsg := wireSizes()
+	recovery := core.DefaultResumeBackoff +
+		netsim.DefaultLink().TransferTime(int(helloAck)) +
+		netsim.DefaultLink().TransferTime(int(diffMsg))
+	run := func(delay func(int) time.Duration) (float64, error) {
+		vcfg, err := video.NamedVideo(spec.Workload, spec.Seed*7+13)
+		if err != nil {
+			return 0, err
+		}
+		src, err := video.NewGenerator(vcfg)
+		if err != nil {
+			return 0, err
+		}
+		ccfg := core.DefaultConfig()
+		student, err := experiments.FreshStudentFor(ccfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.Simulate(core.SimConfig{
+			Cfg:         ccfg,
+			Mode:        core.ModeShadowTutor,
+			Frames:      spec.Frames,
+			Link:        netsim.DefaultLink(),
+			Concurrency: core.FullConcurrency,
+			EvalEvery:   spec.EvalEvery,
+			UpdateDelay: delay,
+		}, src, teacher.NewOracle(spec.Seed+997), student)
+		if err != nil {
+			return 0, err
+		}
+		return res.MeanIoU, nil
+	}
+	clean, err := run(nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	faulty, err := run(func(kf int) time.Duration {
+		if kf == 1 || kf == 4 {
+			return recovery
+		}
+		return 0
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return 100 * (faulty - clean), clean, nil
+}
+
 // runChaosWithBaseline runs the spec as given, then its fault-free twin,
-// and reports the faulty run annotated with the accuracy delta.
+// and reports the faulty run annotated with the accuracy delta — plus the
+// deterministic simulation twin's delta, which is the number CI bounds
+// tightly (the live delta moves with host speed).
 func runChaosWithBaseline(spec Spec) ([]Metrics, error) {
 	faulty, err := Drive("", "", spec)
 	if err != nil {
@@ -74,6 +144,12 @@ func runChaosWithBaseline(spec Spec) ([]Metrics, error) {
 		faulty.Extra = map[string]float64{}
 	}
 	faulty.Extra["clean_miou"] = cleanM.MeanIoU
+	simDelta, simClean, err := simChaosDelta(spec)
+	if err != nil {
+		return nil, err
+	}
+	faulty.Extra["sim_miou_delta_pp"] = simDelta
+	faulty.Extra["sim_clean_miou"] = simClean
 	return []Metrics{faulty}, nil
 }
 

@@ -46,20 +46,30 @@ func TestChaosDropMidstream(t *testing.T) {
 	if m.RecoveryMeanMS <= 0 {
 		t.Error("recovery latency must be measured")
 	}
-	// The delta bound is machine-speed dependent: updates apply
-	// asynchronously, so host speed shifts which frame each post-recovery
-	// diff lands on and, through the adaptive stride, the whole accuracy
-	// trajectory (observed ~1pp on fast hosts, ~3pp on slower ones with
-	// identical reconnect/replay behaviour). The bound exists to catch a
-	// recovery that loses the session's learning outright — a multi-point
-	// collapse — not single-point scheduling drift.
+	// Two accuracy-delta bounds with different jobs. The live delta is
+	// machine-speed dependent: updates apply asynchronously, so host speed
+	// shifts which frame each post-recovery diff lands on and, through the
+	// adaptive stride, the whole trajectory (observed ~1pp on fast hosts,
+	// ~3pp on slower ones with identical reconnect/replay behaviour) — it
+	// stays a loose sanity check for a recovery that loses the session's
+	// learning outright. The deterministic twin replays the same faults on
+	// internal/simclock virtual time, where the recovered diffs land on the
+	// same frames on every machine, so it carries the tight 2pp contract.
 	if math.Abs(m.MIoUDeltaPct) > 4.0 {
-		t.Errorf("mIoU delta vs fault-free run = %.2f pp, want within 4pp (faulty %.4f, clean %.4f)",
+		t.Errorf("live mIoU delta vs fault-free run = %.2f pp, want within 4pp (faulty %.4f, clean %.4f)",
 			m.MIoUDeltaPct, m.MeanIoU, m.Extra["clean_miou"])
+	}
+	simDelta, ok := m.Extra["sim_miou_delta_pp"]
+	if !ok {
+		t.Fatal("missing sim_miou_delta_pp: the deterministic simclock twin must run")
+	}
+	if math.Abs(simDelta) > 2.0 {
+		t.Errorf("simclock mIoU delta = %.2f pp, want within 2pp (sim clean %.4f)",
+			simDelta, m.Extra["sim_clean_miou"])
 	}
 	if m.MeanIoU <= 0 {
 		t.Error("faulty run must still measure accuracy")
 	}
-	t.Logf("chaos/drop-midstream: reconnects=%d replays=%d fulls=%d stale=%d recovery=%.1fms ΔmIoU=%.2fpp",
-		m.Reconnects, m.ResumeReplays, m.FullResends, m.StaleFrames, m.RecoveryMeanMS, m.MIoUDeltaPct)
+	t.Logf("chaos/drop-midstream: reconnects=%d replays=%d fulls=%d stale=%d recovery=%.1fms ΔmIoU=%.2fpp simΔ=%.2fpp",
+		m.Reconnects, m.ResumeReplays, m.FullResends, m.StaleFrames, m.RecoveryMeanMS, m.MIoUDeltaPct, simDelta)
 }

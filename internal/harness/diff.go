@@ -95,6 +95,15 @@ var DefaultChecks = map[string]Check{
 	"handoffs":       {Informational, 0},
 	"sheds":          {Informational, 0},
 	"migrated":       {Informational, 0},
+
+	// Compute-backend metrics (backend/speedup). The speedup ratio is the
+	// PR 6 contract: vec must stay ≥3× over the scalar reference. With the
+	// committed baseline near 4.5×, the 25% tolerance still floors the
+	// gate above 3×; losing the AVX kernels or the transposed conv lowering
+	// drops it to ~1× and trips immediately. The absolute reference-side
+	// latency is machine-speed noise, so it only notes drift.
+	"extra.distill_speedup_x":         {HigherBetter, 0.25},
+	"extra.reference_distill_step_ms": {Informational, 0},
 }
 
 // perShardCheck resolves "shard_sessions.<i>" keys onto the family-wide

@@ -133,6 +133,10 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 		return Metrics{}, err
 	}
 	cfg := core.DefaultConfig()
+	cfg.Backend = spec.Backend
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
 	base, err := experiments.FreshStudentFor(cfg)
 	if err != nil {
 		return Metrics{}, err
@@ -283,6 +287,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 		Workload:        spec.Workload,
 		Bandwidth:       spec.BandwidthLabel(),
 		Codec:           spec.CodecLabel(),
+		Backend:         spec.BackendLabel(),
 		Clients:         spec.Clients,
 		FramesPerClient: spec.Frames,
 		WallSeconds:     elapsed.Seconds(),

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/tensor"
 )
 
 // Spec declares what one end-to-end scenario runs: the workload, the link,
@@ -76,6 +77,10 @@ type Spec struct {
 	// parked sessions migrate to surviving shards. Zero DrainAfter disables.
 	DrainShard int
 	DrainAfter time.Duration
+	// Backend names the tensor compute backend ("reference", "vec") used
+	// by the server shards and every client; empty keeps the process
+	// default. The backend/* scenarios sweep it.
+	Backend string
 }
 
 func (s *Spec) setDefaults() {
@@ -125,6 +130,15 @@ func (s Spec) CodecLabel() string {
 		return "raw"
 	}
 	return s.Codec
+}
+
+// BackendLabel renders the compute backend for metrics output, resolving
+// the empty spec field to the actual process default.
+func (s Spec) BackendLabel() string {
+	if s.Backend == "" {
+		return tensor.DefaultBackend().Name()
+	}
+	return s.Backend
 }
 
 // Scenario is one registered, named experiment. Names are hierarchical

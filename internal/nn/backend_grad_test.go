@@ -1,0 +1,30 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Re-run the package's gradient checks under every registered compute
+// backend. The gradcheck tests build their tapes on unconfigured workspaces,
+// which resolve to the process default backend, so pinning the default is
+// enough to route every forward and backward kernel — including a backend's
+// private conv backward — through the backend under test. The suite runs
+// them all regardless of which backend the process default (or the CI
+// matrix's SHADOWTUTOR_BACKEND) selects.
+func TestGradientsUnderEveryBackend(t *testing.T) {
+	for _, name := range tensor.Backends() {
+		bk, err := tensor.BackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			defer tensor.SetDefaultBackend(tensor.SetDefaultBackend(bk))
+			t.Run("ConvSpecGradients", TestConvSpecGradients)
+			t.Run("ConvStudentBlockGradient", TestConvStudentBlockGradient)
+			t.Run("StudentEndToEndGradient", TestStudentEndToEndGradient)
+			t.Run("StudentPartialBackwardPrunes", TestStudentPartialBackwardPrunes)
+		})
+	}
+}

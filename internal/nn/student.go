@@ -63,6 +63,19 @@ type Student struct {
 	// allocate (almost) nothing. maskBuf is the reusable argmax output.
 	inferCtx *ForwardCtx
 	maskBuf  []int32
+
+	// backend, when non-nil, pins the compute backend used by Infer's
+	// private workspace (training passes ride the caller's ForwardCtx
+	// workspace instead). nil uses the process default.
+	backend tensor.Backend
+}
+
+// SetBackend pins the compute backend for this student's inference path
+// (nil reverts to the process default). The reusable inference context is
+// discarded so the next Infer rebuilds it on the new backend.
+func (s *Student) SetBackend(b tensor.Backend) {
+	s.backend = b
+	s.inferCtx = nil
 }
 
 // NewStudent builds a freshly initialised student from cfg using rng.
@@ -130,7 +143,7 @@ func (s *Student) Forward(fc *ForwardCtx, img *tensor.Tensor) *autodiff.Variable
 // student — sessions each own a private clone.
 func (s *Student) Infer(img *tensor.Tensor) (mask []int32, logits *tensor.Tensor) {
 	if s.inferCtx == nil {
-		s.inferCtx = NewForwardCtxWS(false, tensor.NewWorkspace())
+		s.inferCtx = NewForwardCtxWS(false, tensor.NewWorkspace().SetBackend(s.backend))
 	}
 	s.inferCtx.Reset(false)
 	out := s.Forward(s.inferCtx, img)
@@ -163,6 +176,7 @@ func (s *Student) Clone() *Student {
 	for i, p := range s.Params.All() {
 		c.Params.All()[i].Frozen = p.Frozen
 	}
+	c.backend = s.backend
 	return c
 }
 

@@ -29,6 +29,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/resume"
 	"repro/internal/teacher"
+	"repro/internal/tensor"
 	"repro/internal/transport"
 )
 
@@ -210,6 +211,19 @@ func NewManager(opts Options) (*Manager, error) {
 	}
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = 64
+	}
+	// A shard's configured compute backend covers its teacher replica here;
+	// per-session students pick it up in core.NewDistiller from Cfg.Backend.
+	// Base is deliberately NOT mutated: fabrics share one base checkpoint
+	// across shards with different backends, and a write here would leak one
+	// shard's backend into every other shard's session clones. Cfg.Backend
+	// has been validated above, so resolution cannot fail here.
+	if bk, err := tensor.BackendByName(opts.Cfg.Backend); err == nil {
+		if bs, ok := opts.Teacher.(interface {
+			SetBackend(tensor.Backend)
+		}); ok {
+			bs.SetBackend(bk)
+		}
 	}
 	b, ok := opts.Teacher.(*teacher.Batcher)
 	if !ok {

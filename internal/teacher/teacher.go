@@ -175,6 +175,12 @@ func NewCNNTeacher(seed int64) *CNNTeacher {
 // Name implements Teacher.
 func (t *CNNTeacher) Name() string { return t.name }
 
+// SetBackend pins the tensor compute backend used by the teacher network's
+// inference (nil reverts to the process default). serve.NewManager probes
+// for this method so a shard's configured backend covers its teacher
+// replica too.
+func (t *CNNTeacher) SetBackend(b tensor.Backend) { t.Net.SetBackend(b) }
+
 // Infer implements Teacher. The mask is a fresh copy owned by the caller:
 // teacher masks cross goroutine boundaries through the Batcher, so they must
 // never alias the network's reusable inference buffers.

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Backend is the pluggable compute interface behind every hot kernel in the
+// package: the three GEMM forms the autodiff tape lowers matmuls onto, and
+// the fused im2col+GEMM convolution forward. A backend implementation must
+// be stateless (or internally synchronised): one Backend value is shared by
+// every workspace that selects it, and kernels run concurrently across
+// sessions and across the Parallel worker pool. All scratch must therefore
+// live on the caller's stack, in the destination slice, or in the Workspace
+// passed to Conv2DWS — never in fields of the backend itself (the bitwise-
+// stability race tests in backend_race_test.go enforce this).
+//
+// Parity contract: every backend must agree with the "reference" backend
+// within a 1-ulp-scaled tolerance per output element (see backend_test.go
+// and ARCHITECTURE.md "Compute backends"). Backends should additionally be
+// run-to-run deterministic for a fixed input regardless of worker count:
+// accumulate each output element in a fixed order so Parallel chunking
+// never changes results.
+type Backend interface {
+	// Name returns the registry key ("reference", "vec", ...).
+	Name() string
+	// MatMulInto computes dst[m,n] (+)= a[m,k] × b[k,n] over raw row-major
+	// slices. accumulate selects += vs =.
+	MatMulInto(dst, a, b []float32, m, n, k int, accumulate bool)
+	// MatMulATBInto computes dst[m,n] (+)= aᵀ × b with a stored [k,m]
+	// (TN form; conv backward weight gradients).
+	MatMulATBInto(dst, a, b []float32, m, n, k int, accumulate bool)
+	// MatMulABTInto computes dst[m,n] = a[m,k] × b[n,k]ᵀ (NT form; matmul
+	// backward input gradients).
+	MatMulABTInto(dst, a, b []float32, m, n, k int)
+	// Conv2DWS runs the fused im2col+GEMM convolution forward: weights w
+	// [OC,C,KH,KW], optional bias b (len OC or nil), CHW input x, result
+	// [OC,OH,OW] leased from ws. Shapes are pre-validated by the package
+	// wrapper Conv2DWS; implementations may assume they are consistent.
+	Conv2DWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor
+}
+
+var (
+	backendMu  sync.RWMutex
+	backends   = map[string]Backend{}
+	defBackend Backend
+)
+
+// RegisterBackend adds b to the process-wide registry. Registering a nil
+// backend, an empty name or a duplicate name panics: the registry is
+// assembled at init time and a collision is a programming error.
+func RegisterBackend(b Backend) {
+	if b == nil || b.Name() == "" {
+		panic("tensor: RegisterBackend of nil or unnamed backend")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[b.Name()]; dup {
+		panic(fmt.Sprintf("tensor: backend %q registered twice", b.Name()))
+	}
+	backends[b.Name()] = b
+}
+
+// BackendByName resolves a backend. The empty string resolves to the
+// process default, so config fields can leave backend selection unset.
+func BackendByName(name string) (Backend, error) {
+	if name == "" {
+		return DefaultBackend(), nil
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if b, ok := backends[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("tensor: unknown backend %q (have %v)", name, backendNamesLocked())
+}
+
+// Backends returns the sorted names of every registered backend.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return backendNamesLocked()
+}
+
+func backendNamesLocked() []string {
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultBackend returns the process-wide default used by nil/unset
+// workspaces and the package-level MatMul* helpers.
+func DefaultBackend() Backend {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return defBackend
+}
+
+// SetDefaultBackend swaps the process default and returns the previous one,
+// for tests that re-run suites under each backend:
+//
+//	defer tensor.SetDefaultBackend(tensor.SetDefaultBackend(b))
+func SetDefaultBackend(b Backend) Backend {
+	if b == nil {
+		panic("tensor: SetDefaultBackend(nil)")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	prev := defBackend
+	defBackend = b
+	return prev
+}
+
+// The vec backend is the default: it is deterministic, parity-checked
+// against reference on every CI run, and ≥3x faster on the distill step.
+// SHADOWTUTOR_BACKEND overrides the default for the whole process (the env
+// hook the test matrix uses); an unknown name panics at init so CI fails
+// loudly instead of silently testing the wrong backend.
+func init() {
+	ref := &refBackend{}
+	vec := &vecBackend{}
+	RegisterBackend(ref)
+	RegisterBackend(vec)
+	defBackend = vec
+	if name := os.Getenv("SHADOWTUTOR_BACKEND"); name != "" {
+		b, err := BackendByName(name)
+		if err != nil {
+			panic(fmt.Sprintf("tensor: SHADOWTUTOR_BACKEND: %v", err))
+		}
+		defBackend = b
+	}
+}

@@ -1,0 +1,242 @@
+// AVX2+FMA microkernels for the vec backend (amd64). Each function is the
+// drop-in counterpart of a pure-Go kernel in backend_vec.go: same
+// per-element accumulation structure, eight lanes at a time. Lane sums are
+// combined in a fixed order, so results are run-to-run deterministic; they
+// differ from the scalar kernels by the usual k-scaled handful of ulps
+// (FMA contraction plus lane-wise partial sums), which the parity suite's
+// tolerance covers. Callers guarantee len(dst)/len(a) ≤ len of every other
+// slice; only the first len elements are touched.
+
+#include "textflag.h"
+
+// func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0Asm() (eax, edx uint32)
+TEXT ·xgetbv0Asm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dot4AVX(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32)
+// Four dot products of a against b0..b3 in one pass: one ymm accumulator
+// per b row, FMA from memory, scalar tail in the low lane.
+TEXT ·dot4AVX(SB), NOSPLIT, $0-136
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b0_base+24(FP), R8
+	MOVQ b1_base+48(FP), R9
+	MOVQ b2_base+72(FP), R10
+	MOVQ b3_base+96(FP), R11
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	JZ   dot4reduce
+
+dot4loop:
+	VMOVUPS (SI)(AX*4), Y4
+	VFMADD231PS (R8)(AX*4), Y4, Y0
+	VFMADD231PS (R9)(AX*4), Y4, Y1
+	VFMADD231PS (R10)(AX*4), Y4, Y2
+	VFMADD231PS (R11)(AX*4), Y4, Y3
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JLT  dot4loop
+
+dot4reduce:
+	// Reduce each ymm accumulator to a scalar in lane 0 BEFORE the scalar
+	// tail: a VEX write to an xmm register zeroes the upper half of the
+	// aliased ymm, so tail FMAs must only ever see reduced accumulators.
+	VEXTRACTF128 $1, Y0, X4
+	VADDPS X4, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VEXTRACTF128 $1, Y1, X4
+	VADDPS X4, X1, X1
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VEXTRACTF128 $1, Y2, X4
+	VADDPS X4, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VEXTRACTF128 $1, Y3, X4
+	VADDPS X4, X3, X3
+	VHADDPS X3, X3, X3
+	VHADDPS X3, X3, X3
+
+dot4tail:
+	CMPQ AX, CX
+	JGE  dot4done
+	VMOVSS (SI)(AX*4), X4
+	VFMADD231SS (R8)(AX*4), X4, X0
+	VFMADD231SS (R9)(AX*4), X4, X1
+	VFMADD231SS (R10)(AX*4), X4, X2
+	VFMADD231SS (R11)(AX*4), X4, X3
+	INCQ AX
+	JMP  dot4tail
+
+dot4done:
+	VMOVSS X0, s0+120(FP)
+	VMOVSS X1, s1+124(FP)
+	VMOVSS X2, s2+128(FP)
+	VMOVSS X3, s3+132(FP)
+	VZEROUPPER
+	RET
+
+// func dotAVX(a, b []float32) float32
+// Single dot product with four ymm accumulators (32 floats per iteration)
+// so the FMA latency chains stay saturated.
+TEXT ·dotAVX(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), R8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+	JZ   dot1mid
+
+dot1loop:
+	VMOVUPS (SI)(AX*4), Y4
+	VMOVUPS 32(SI)(AX*4), Y5
+	VMOVUPS 64(SI)(AX*4), Y6
+	VMOVUPS 96(SI)(AX*4), Y7
+	VFMADD231PS (R8)(AX*4), Y4, Y0
+	VFMADD231PS 32(R8)(AX*4), Y5, Y1
+	VFMADD231PS 64(R8)(AX*4), Y6, Y2
+	VFMADD231PS 96(R8)(AX*4), Y7, Y3
+	ADDQ $32, AX
+	CMPQ AX, DX
+	JLT  dot1loop
+
+dot1mid:
+	// 8-wide middle loop over the remaining <32 elements.
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+dot1mid8:
+	CMPQ AX, DX
+	JGE  dot1reduce
+	VMOVUPS (SI)(AX*4), Y4
+	VFMADD231PS (R8)(AX*4), Y4, Y0
+	ADDQ $8, AX
+	JMP  dot1mid8
+
+dot1reduce:
+	// Reduce to a lane-0 scalar before the tail (see dot4AVX).
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X4
+	VADDPS X4, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+
+dot1tail:
+	CMPQ AX, CX
+	JGE  dot1done
+	VMOVSS (SI)(AX*4), X4
+	VFMADD231SS (R8)(AX*4), X4, X0
+	INCQ AX
+	JMP  dot1tail
+
+dot1done:
+	VMOVSS X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func axpy4AVX(dst []float32, a0, a1, a2, a3 float32, x0, x1, x2, x3 []float32)
+// dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j], eight lanes at a
+// time with broadcast coefficients; scalar tail in the low lane.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-136
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	VBROADCASTSS a0+24(FP), Y0
+	VBROADCASTSS a1+28(FP), Y1
+	VBROADCASTSS a2+32(FP), Y2
+	VBROADCASTSS a3+36(FP), Y3
+	MOVQ x0_base+40(FP), R8
+	MOVQ x1_base+64(FP), R9
+	MOVQ x2_base+88(FP), R10
+	MOVQ x3_base+112(FP), R11
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	JZ   axpy4tail
+
+axpy4loop:
+	VMOVUPS (DI)(AX*4), Y4
+	VFMADD231PS (R8)(AX*4), Y0, Y4
+	VFMADD231PS (R9)(AX*4), Y1, Y4
+	VFMADD231PS (R10)(AX*4), Y2, Y4
+	VFMADD231PS (R11)(AX*4), Y3, Y4
+	VMOVUPS Y4, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JLT  axpy4loop
+
+axpy4tail:
+	CMPQ AX, CX
+	JGE  axpy4done
+	VMOVSS (DI)(AX*4), X4
+	VFMADD231SS (R8)(AX*4), X0, X4
+	VFMADD231SS (R9)(AX*4), X1, X4
+	VFMADD231SS (R10)(AX*4), X2, X4
+	VFMADD231SS (R11)(AX*4), X3, X4
+	VMOVSS X4, (DI)(AX*4)
+	INCQ AX
+	JMP  axpy4tail
+
+axpy4done:
+	VZEROUPPER
+	RET
+
+// func saxpyAVX(dst []float32, a float32, x []float32)
+// dst[j] += a*x[j], the single-row tail kernel of the axpy GEMM forms.
+TEXT ·saxpyAVX(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	VBROADCASTSS a+24(FP), Y0
+	MOVQ x_base+32(FP), R8
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	JZ   saxpytail
+
+saxpyloop:
+	VMOVUPS (DI)(AX*4), Y4
+	VFMADD231PS (R8)(AX*4), Y0, Y4
+	VMOVUPS Y4, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JLT  saxpyloop
+
+saxpytail:
+	CMPQ AX, CX
+	JGE  saxpydone
+	VMOVSS (DI)(AX*4), X4
+	VFMADD231SS (R8)(AX*4), X0, X4
+	VMOVSS X4, (DI)(AX*4)
+	INCQ AX
+	JMP  saxpytail
+
+saxpydone:
+	VZEROUPPER
+	RET

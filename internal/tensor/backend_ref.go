@@ -1,0 +1,59 @@
+package tensor
+
+// refBackend is the original cache-blocked scalar implementation (gemm.go),
+// kept byte-for-byte as the parity oracle every other backend is diffed
+// against. Its kernels accumulate each output element in ascending-p order
+// into a single float32 accumulator, so results are bitwise identical for
+// any worker count — which is what makes it usable as a golden reference.
+type refBackend struct{}
+
+func (refBackend) Name() string { return "reference" }
+
+func (refBackend) MatMulInto(dst, a, b []float32, m, n, k int, accumulate bool) {
+	gemmAxpy(dst, a, b, m, n, k, k, 1, accumulate)
+}
+
+func (refBackend) MatMulATBInto(dst, a, b []float32, m, n, k int, accumulate bool) {
+	gemmAxpy(dst, a, b, m, n, k, 1, m, accumulate)
+}
+
+func (refBackend) MatMulABTInto(dst, a, b []float32, m, n, k int) {
+	gemmDot(dst, a, b, m, n, k)
+}
+
+// Conv2DWS fuses the im2col lowering, the GEMM against the weight matrix
+// and the [OH*OW,OC]→[OC,OH,OW] transposition into a single Parallel pass
+// over output rows, so each chunk's column block stays cache-resident and
+// one worker dispatch covers the whole convolution.
+func (refBackend) Conv2DWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
+	oc := w.Dim(0)
+	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := s.OutSize(h, wid)
+	ckk := c * s.KH * s.KW
+	hw := oh * ow
+	colsT := ws.GetDirty(hw, ckk)
+	res := ws.GetDirty(oc, oh, ow)
+	cd, wd, rd := colsT.Data, w.Data, res.Data
+	var bd []float32
+	if b != nil {
+		bd = b.Data
+	}
+	Parallel(oh, 2, func(lo, hi int) {
+		for oy := lo; oy < hi; oy++ {
+			im2colRow(cd, x, s, oy, ow, ckk)
+			for ox := 0; ox < ow; ox++ {
+				p := oy*ow + ox
+				crow := cd[p*ckk : (p+1)*ckk]
+				for ch := 0; ch < oc; ch++ {
+					v := sdot(crow, wd[ch*ckk:(ch+1)*ckk])
+					if bd != nil {
+						v += bd[ch]
+					}
+					rd[ch*hw+p] = v
+				}
+			}
+		}
+	})
+	ws.Put(colsT)
+	return res
+}

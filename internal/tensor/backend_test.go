@@ -1,0 +1,431 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential backend-parity suite: every registered backend must
+// reproduce the reference backend's results within a 1-ulp-scaled tolerance
+// on every kernel, across randomized shapes including the odd, prime and
+// degenerate dimensions blocked kernels historically get wrong (remainder
+// lanes, k=0 clears, single-row panels). The reference backend itself is
+// pinned bitwise to naive triple loops by gemm_test.go; this file anchors
+// everything else to it.
+
+// parityDims is the shape pool the property tests draw from: degenerate
+// (0, 1), primes that defeat every unroll width (3, 5, 7, 13, 17, 31, 127),
+// and power-of-two ± 1 pairs that straddle panel and lane boundaries.
+var parityDims = []int{0, 1, 2, 3, 5, 7, 8, 13, 16, 17, 31, 32, 33, 64, 65, 127}
+
+// parityTol returns the allowed absolute difference for one output element
+// of a length-k reduction over values bounded by amax·bmax. Backends may
+// reassociate the sum (pairwise lane accumulators) and contract mul+add
+// into FMA; both perturb a float32 reduction by at most a few ulps per
+// term, so the bound scales with k and the operand magnitudes. The +8
+// floors the bound for tiny k; the leading 4 covers the lane-combine adds.
+func parityTol(k int, amax, bmax float32) float32 {
+	const eps32 = 1.1920929e-7
+	return 4 * eps32 * float32(k+8) * amax * bmax
+}
+
+func fillRand(rng *rand.Rand, d []float32) float32 {
+	var amax float32 = 1 // avoid a zero tolerance for empty/zero operands
+	for i := range d {
+		d[i] = rng.Float32()*2 - 1
+		if a := float32(math.Abs(float64(d[i]))); a > amax {
+			amax = a
+		}
+	}
+	return amax
+}
+
+// assertClose compares one backend's output against the reference output
+// element-wise under tol, reporting the worst offender.
+func assertParity(t *testing.T, label string, got, want []float32, tol float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length mismatch %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		d := float32(math.Abs(float64(got[i] - want[i])))
+		if d > tol || math.IsNaN(float64(got[i])) {
+			t.Fatalf("%s: element %d: got %v want %v (|diff| %g > tol %g)",
+				label, i, got[i], want[i], d, tol)
+		}
+	}
+}
+
+// nonRefBackends returns every registered backend except reference, which
+// would only be compared against itself.
+func nonRefBackends(t testing.TB) []Backend {
+	t.Helper()
+	var out []Backend
+	for _, name := range Backends() {
+		if name == "reference" {
+			continue
+		}
+		b, err := BackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		t.Fatal("no non-reference backends registered")
+	}
+	return out
+}
+
+// checkGemmParity runs all three GEMM forms of bk against reference on one
+// (m,n,k) shape, with accumulate both ways, on freshly randomized operands.
+func checkGemmParity(t *testing.T, ref, bk Backend, rng *rand.Rand, m, n, k int) {
+	t.Helper()
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	amax := fillRand(rng, a)
+	bmax := fillRand(rng, b)
+	tol := parityTol(k, amax, bmax)
+
+	at := make([]float32, k*m) // a transposed, stored [k,m] for the TN form
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			at[p*m+i] = a[i*k+p]
+		}
+	}
+	bt := make([]float32, n*k) // b transposed, stored [n,k] for the NT form
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bt[j*k+p] = b[p*n+j]
+		}
+	}
+	seed := make([]float32, m*n) // pre-existing dst contents for accumulate
+	fillRand(rng, seed)
+
+	want := make([]float32, m*n)
+	got := make([]float32, m*n)
+	for _, acc := range []bool{false, true} {
+		prep := func(dst []float32) {
+			copy(dst, seed)
+			if !acc {
+				// Poison: overwrite semantics must not read stale values.
+				for i := range dst {
+					dst[i] = float32(math.NaN())
+				}
+			}
+		}
+		label := func(form string) string {
+			return fmt.Sprintf("%s %s m=%d n=%d k=%d acc=%v", bk.Name(), form, m, n, k, acc)
+		}
+		prep(want)
+		prep(got)
+		ref.MatMulInto(want, a, b, m, n, k, acc)
+		bk.MatMulInto(got, a, b, m, n, k, acc)
+		assertParity(t, label("NN"), got, want, tol)
+
+		prep(want)
+		prep(got)
+		ref.MatMulATBInto(want, at, b, m, n, k, acc)
+		bk.MatMulATBInto(got, at, b, m, n, k, acc)
+		assertParity(t, label("TN"), got, want, tol)
+
+		if !acc { // the NT form has no accumulate variant
+			ref.MatMulABTInto(want, a, bt, m, n, k)
+			bk.MatMulABTInto(got, a, bt, m, n, k)
+			assertParity(t, label("NT"), got, want, tol)
+		}
+	}
+}
+
+func TestBackendParityGEMM(t *testing.T) {
+	ref, err := BackendByName("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bk := range nonRefBackends(t) {
+		t.Run(bk.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1009))
+			// Full sweep of the curated pool: every (m,n,k) triple with at
+			// most one large dim, so the worst unroll/panel corners are all
+			// hit deterministically.
+			for _, m := range parityDims {
+				for _, n := range parityDims {
+					for _, k := range parityDims {
+						if m*n*k > 70000 {
+							continue
+						}
+						checkGemmParity(t, ref, bk, rng, m, n, k)
+					}
+				}
+			}
+			// Plus randomized larger shapes beyond the curated pool.
+			for i := 0; i < 25; i++ {
+				m := rng.Intn(90) + 1
+				n := rng.Intn(90) + 1
+				k := rng.Intn(200) + 1
+				checkGemmParity(t, ref, bk, rng, m, n, k)
+			}
+		})
+	}
+}
+
+// parityConvSpecs covers the student's kernel shapes (3x3, 3x1, 1x3, 1x1,
+// Fig. 3a) plus stride-2 and valid-padding variants that exercise the
+// non-"same" lowering paths.
+var parityConvSpecs = []ConvSpec{
+	Spec(3, 3),
+	Spec(1, 1),
+	Spec(3, 1),
+	Spec(1, 3),
+	Spec(5, 5),
+	Spec(3, 3).WithStride(2),
+	Spec(5, 5).WithStride(2),
+	{KH: 3, KW: 3, SH: 1, SW: 1}, // valid padding
+	{KH: 2, KW: 2, SH: 2, SW: 2}, // even kernel, no pad
+	{KH: 3, KW: 3, SH: 2, SW: 3, PH: 2, PW: 1}, // mixed strides, asymmetric pad sizes
+	{KH: 1, KW: 5, SH: 1, SW: 2, PH: 0, PW: 2}, // wide 1-D kernel, strided
+	{KH: 7, KW: 1, SH: 3, SW: 1, PH: 3, PW: 0}, // tall 1-D kernel, strided
+}
+
+func TestBackendParityConv2D(t *testing.T) {
+	ref, err := BackendByName("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct{ c, h, w, oc int }{
+		{1, 7, 7, 1},
+		{3, 13, 11, 5},
+		{4, 16, 16, 8},
+		{7, 9, 17, 13},
+		{2, 31, 5, 3},
+	}
+	for _, bk := range nonRefBackends(t) {
+		t.Run(bk.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2027))
+			for _, sh := range shapes {
+				for _, spec := range parityConvSpecs {
+					oh, ow := spec.OutSize(sh.h, sh.w)
+					if oh <= 0 || ow <= 0 {
+						continue
+					}
+					x := New(sh.c, sh.h, sh.w)
+					w := New(sh.oc, sh.c, spec.KH, spec.KW)
+					xmax := fillRand(rng, x.Data)
+					wmax := fillRand(rng, w.Data)
+					tol := parityTol(sh.c*spec.KH*spec.KW, xmax, wmax)
+					for _, withBias := range []bool{false, true} {
+						var b *Tensor
+						if withBias {
+							b = New(sh.oc)
+							fillRand(rng, b.Data)
+						}
+						label := fmt.Sprintf("%s conv c=%d h=%d w=%d oc=%d spec=%+v bias=%v",
+							bk.Name(), sh.c, sh.h, sh.w, sh.oc, spec, withBias)
+						refWS := NewWorkspace().SetBackend(ref)
+						bkWS := NewWorkspace().SetBackend(bk)
+						want := Conv2DWS(refWS, x, w, b, spec)
+						got := Conv2DWS(bkWS, x, w, b, spec)
+						assertParity(t, label, got.Data, want.Data, tol)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBackendParityConvBackward pins backends that take over the whole conv
+// backward (the convBackwarder extension) to the generic im2col gradient
+// path, for both the frozen (needInput=false) and full backward.
+func TestBackendParityConvBackward(t *testing.T) {
+	ref, err := BackendByName("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bk := range nonRefBackends(t) {
+		t.Run(bk.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3001))
+			for _, sh := range []struct{ c, h, w, oc int }{
+				{3, 13, 11, 5},
+				{4, 16, 16, 8},
+				{1, 7, 9, 2},
+			} {
+				for _, spec := range parityConvSpecs {
+					oh, ow := spec.OutSize(sh.h, sh.w)
+					if oh <= 0 || ow <= 0 {
+						continue
+					}
+					x := New(sh.c, sh.h, sh.w)
+					w := New(sh.oc, sh.c, spec.KH, spec.KW)
+					gy := New(sh.oc, oh, ow)
+					xmax := fillRand(rng, x.Data)
+					wmax := fillRand(rng, w.Data)
+					gmax := fillRand(rng, gy.Data)
+					label := fmt.Sprintf("%s convbwd c=%d h=%d w=%d oc=%d spec=%+v",
+						bk.Name(), sh.c, sh.h, sh.w, sh.oc, spec)
+					for _, needInput := range []bool{false, true} {
+						refWS := NewWorkspace().SetBackend(ref)
+						bkWS := NewWorkspace().SetBackend(bk)
+						wantDX, wantDW, wantDB := Conv2DBackwardWS(refWS, x, w, gy, spec, needInput)
+						gotDX, gotDW, gotDB := Conv2DBackwardWS(bkWS, x, w, gy, spec, needInput)
+						// dW reduces over OH*OW elements; dx over OC*KH*KW.
+						assertParity(t, label+" dw", gotDW.Data, wantDW.Data, parityTol(oh*ow, gmax, xmax))
+						assertParity(t, label+" db", gotDB.Data, wantDB.Data, parityTol(oh*ow, gmax, 1))
+						if needInput {
+							assertParity(t, label+" dx", gotDX.Data, wantDX.Data,
+								parityTol(sh.oc*spec.KH*spec.KW, gmax, wmax))
+						} else if gotDX != nil || wantDX != nil {
+							t.Fatalf("%s: dx returned without needInput", label)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBackendDeterminism pins the run-to-run determinism contract: repeated
+// runs of the same kernel on the same inputs, across different worker
+// counts, must be bitwise identical for every backend.
+func TestBackendDeterminism(t *testing.T) {
+	for _, name := range Backends() {
+		bk, err := BackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4001))
+			const m, n, k = 33, 65, 127
+			a := make([]float32, m*k)
+			b := make([]float32, k*n)
+			fillRand(rng, a)
+			fillRand(rng, b)
+			golden := make([]float32, m*n)
+			bk.MatMulInto(golden, a, b, m, n, k, false)
+			for _, workers := range []int{1, 3, 8} {
+				prev := SetWorkers(workers)
+				got := make([]float32, m*n)
+				bk.MatMulInto(got, a, b, m, n, k, false)
+				SetWorkers(prev)
+				for i := range golden {
+					if got[i] != golden[i] {
+						t.Fatalf("%s: workers=%d element %d: %v != golden %v — accumulation order depends on worker count",
+							name, workers, i, got[i], golden[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzBackendParity is the CI fuzz target over the same differential
+// property: arbitrary shapes and seeds, every backend vs reference. Kept
+// small per execution so the fuzzer explores shapes, not runtime.
+func FuzzBackendParity(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(5), uint8(7))
+	f.Add(int64(2), uint8(0), uint8(1), uint8(64))
+	f.Add(int64(3), uint8(31), uint8(33), uint8(17))
+	f.Fuzz(func(t *testing.T, seed int64, m8, n8, k8 uint8) {
+		m, n, k := int(m8%48), int(n8%48), int(k8%96)
+		ref, err := BackendByName("reference")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, bk := range nonRefBackends(t) {
+			checkGemmParity(t, ref, bk, rng, m, n, k)
+		}
+	})
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := Backends()
+	want := map[string]bool{"reference": false, "vec": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("backend %q missing from registry %v", n, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Backends() not sorted: %v", names)
+		}
+	}
+	if _, err := BackendByName("no-such-backend"); err == nil {
+		t.Fatal("BackendByName of unknown backend did not error")
+	}
+	def, err := BackendByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != DefaultBackend() {
+		t.Fatal("BackendByName(\"\") did not resolve to the process default")
+	}
+	ref, err := BackendByName("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetDefaultBackend(ref)
+	if DefaultBackend() != ref {
+		t.Fatal("SetDefaultBackend did not take effect")
+	}
+	if back := SetDefaultBackend(prev); back != ref {
+		t.Fatal("SetDefaultBackend did not return the previous default")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate RegisterBackend did not panic")
+			}
+		}()
+		RegisterBackend(&refBackend{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RegisterBackend(nil) did not panic")
+			}
+		}()
+		RegisterBackend(nil)
+	}()
+}
+
+// TestVecPortableKernelParity forces the vec backend onto its portable Go
+// microkernels (as a non-amd64 build or SHADOWTUTOR_NOAVX would) and
+// re-runs the GEMM parity sweep, so the fallback path is exercised even on
+// machines where init picked the assembly kernels.
+func TestVecPortableKernelParity(t *testing.T) {
+	if VecKernelISA() == "portable" {
+		t.Skip("vec backend already on portable kernels; the main suite covers them")
+	}
+	d4, d1, a4, s1 := dot4f, dot1f, axpy4f, saxpyf
+	dot4f, dot1f, axpy4f, saxpyf = dot4, sdot, axpy4, saxpy
+	defer func() { dot4f, dot1f, axpy4f, saxpyf = d4, d1, a4, s1 }()
+
+	ref, err := BackendByName("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := BackendByName("vec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5003))
+	for _, d := range [][3]int{{1, 1, 1}, {3, 5, 7}, {13, 17, 31}, {8, 64, 65}, {31, 127, 33}, {0, 4, 0}} {
+		checkGemmParity(t, ref, vec, rng, d[0], d[1], d[2])
+	}
+	x := New(3, 13, 11)
+	w := New(5, 3, 3, 3)
+	xmax := fillRand(rng, x.Data)
+	wmax := fillRand(rng, w.Data)
+	want := Conv2DWS(NewWorkspace().SetBackend(ref), x, w, nil, Spec(3, 3))
+	got := Conv2DWS(NewWorkspace().SetBackend(vec), x, w, nil, Spec(3, 3))
+	assertParity(t, "portable conv", got.Data, want.Data, parityTol(27, xmax, wmax))
+}

@@ -1,0 +1,339 @@
+package tensor
+
+// vecBackend is the register-blocked CPU backend: the same cache blocking
+// and Parallel row distribution as the reference kernels, but with the
+// inner loops unrolled 4x so the compiler keeps four independent FMA chains
+// in flight instead of one latency-bound accumulator. All slices are
+// re-sliced to a common length before the hot loops, which lets the
+// compiler prove every index in range and drop the bounds checks.
+//
+// Numerics: each output element is still accumulated in a fixed order that
+// does not depend on worker count or chunk boundaries, so the backend is
+// run-to-run deterministic. The order differs from the reference backend's
+// strictly-sequential accumulation (pairwise sums inside each unrolled
+// group), so results can drift by a few ulps over a length-k reduction —
+// the parity suite's k-scaled ulp tolerance is exactly this bound.
+type vecBackend struct{}
+
+func (vecBackend) Name() string { return "vec" }
+
+// The vec kernels are selected once at init: the portable unrolled Go
+// kernels below by default, swapped for AVX2+FMA assembly on amd64 CPUs
+// that support it (backend_avx_amd64.go). Indirect calls are amortised
+// over whole rows, so dispatch cost is noise.
+var (
+	dot4f        = dot4
+	dot1f        = sdot
+	axpy4f       = axpy4
+	saxpyf       = saxpy
+	vecKernelISA = "portable"
+)
+
+// VecKernelISA reports which instruction set the vec backend's microkernels
+// were selected for ("portable" or "avx2+fma"), for logs and bench output.
+func VecKernelISA() string { return vecKernelISA }
+
+func (vecBackend) MatMulInto(dst, a, b []float32, m, n, k int, accumulate bool) {
+	vecGemmAxpy(dst, a, b, m, n, k, k, 1, accumulate)
+}
+
+func (vecBackend) MatMulATBInto(dst, a, b []float32, m, n, k int, accumulate bool) {
+	vecGemmAxpy(dst, a, b, m, n, k, 1, m, accumulate)
+}
+
+func (vecBackend) MatMulABTInto(dst, a, b []float32, m, n, k int) {
+	vecGemmDot(dst, a, b, m, n, k)
+}
+
+// axpy4 computes dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j], the
+// 4-row update of the axpy GEMM forms. One pass streams four b-rows against
+// one dst row, quartering the dst load/store traffic of four saxpy calls.
+// The len hints eliminate all bounds checks in the loop body.
+func axpy4(dst []float32, a0, a1, a2, a3 float32, x0, x1, x2, x3 []float32) {
+	n := len(dst)
+	x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+	for j := range dst {
+		dst[j] += (a0*x0[j] + a1*x1[j]) + (a2*x2[j] + a3*x3[j])
+	}
+}
+
+// dot4 computes four dot products of a against b0..b3 in one pass over a,
+// with the reduction additionally unrolled 2x (eight live accumulators).
+// A single sdot chain stalls on add latency every element; eight
+// independent chains keep the FPU pipeline full, which is the main source
+// of the vec backend's speedup on the dot-dominated conv forward.
+func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	n := len(a)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	var t0, t1, t2, t3 float32
+	p := 0
+	for ; p+1 < n; p += 2 {
+		av, aw := a[p], a[p+1]
+		s0 += av * b0[p]
+		t0 += aw * b0[p+1]
+		s1 += av * b1[p]
+		t1 += aw * b1[p+1]
+		s2 += av * b2[p]
+		t2 += aw * b2[p+1]
+		s3 += av * b3[p]
+		t3 += aw * b3[p+1]
+	}
+	if p < n {
+		av := a[p]
+		s0 += av * b0[p]
+		s1 += av * b1[p]
+		s2 += av * b2[p]
+		s3 += av * b3[p]
+	}
+	return s0 + t0, s1 + t1, s2 + t2, s3 + t3
+}
+
+// vecGemmAxpy mirrors gemmAxpy (same strides convention, same gemmKC
+// reduction panels, same Parallel row chunks) with the p loop unrolled 4x
+// through axpy4. The all-four-zero skip preserves the reference kernels'
+// cheap handling of zero-padded im2col borders; partially-zero quads fall
+// through to axpy4, where a zero coefficient contributes an exact ±0.
+func vecGemmAxpy(cd, ad, bd []float32, m, n, k, ars, acs int, accumulate bool) {
+	Parallel(m, gemmRowGrain, func(lo, hi int) {
+		if !accumulate && k == 0 {
+			clear(cd[lo*n : hi*n])
+			return
+		}
+		for kb := 0; kb < k; kb += gemmKC {
+			ke := kb + gemmKC
+			if ke > k {
+				ke = k
+			}
+			for i := lo; i < hi; i++ {
+				crow := cd[i*n : (i+1)*n]
+				if kb == 0 && !accumulate {
+					clear(crow)
+				}
+				ai := i * ars
+				p := kb
+				for ; p+3 < ke; p += 4 {
+					a0 := ad[ai+p*acs]
+					a1 := ad[ai+(p+1)*acs]
+					a2 := ad[ai+(p+2)*acs]
+					a3 := ad[ai+(p+3)*acs]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					axpy4f(crow, a0, a1, a2, a3,
+						bd[p*n:(p+1)*n], bd[(p+1)*n:(p+2)*n],
+						bd[(p+2)*n:(p+3)*n], bd[(p+3)*n:(p+4)*n])
+				}
+				for ; p < ke; p++ {
+					av := ad[ai+p*acs]
+					if av == 0 {
+						continue
+					}
+					saxpyf(crow, av, bd[p*n:(p+1)*n])
+				}
+			}
+		}
+	})
+}
+
+// vecGemmDot mirrors gemmDot's b-row tiling with the j loop unrolled 4x
+// through dot4, so each pass over a's row feeds four output columns.
+func vecGemmDot(cd, ad, bd []float32, m, n, k int) {
+	Parallel(m, gemmRowGrain, func(lo, hi int) {
+		for jb := 0; jb < n; jb += gemmJB {
+			je := jb + gemmJB
+			if je > n {
+				je = n
+			}
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				crow := cd[i*n : (i+1)*n]
+				j := jb
+				for ; j+3 < je; j += 4 {
+					crow[j], crow[j+1], crow[j+2], crow[j+3] = dot4f(arow,
+						bd[j*k:(j+1)*k], bd[(j+1)*k:(j+2)*k],
+						bd[(j+2)*k:(j+3)*k], bd[(j+3)*k:(j+4)*k])
+				}
+				for ; j < je; j++ {
+					crow[j] = dot1f(arow, bd[j*k:(j+1)*k])
+				}
+			}
+		}
+	})
+}
+
+// Conv2DWS lowers the input once into the transposed layout colsC
+// [C*KH*KW, OH*OW] and computes the whole forward as a single
+// [OC,CKK] x [CKK,HW] GEMM over long contiguous rows — the shape the axpy
+// microkernels are fastest at. The transposed lowering is also why vec's
+// im2col is cheap: with stride 1 every (channel, ky, kx) row of colsC is a
+// contiguous span of the input, so lowering is row copies instead of a
+// per-element gather. Bias is pre-filled into the output and the GEMM
+// accumulates on top.
+func (vecBackend) Conv2DWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
+	oc := w.Dim(0)
+	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := s.OutSize(h, wid)
+	ckk := c * s.KH * s.KW
+	hw := oh * ow
+	colsC := ws.GetDirty(ckk, hw)
+	vecIm2colT(colsC.Data, x, s, oh, ow)
+	res := ws.GetDirty(oc, oh, ow)
+	rd := res.Data
+	if b != nil {
+		bd := b.Data
+		for ch := 0; ch < oc; ch++ {
+			row := rd[ch*hw : (ch+1)*hw]
+			v := bd[ch]
+			for i := range row {
+				row[i] = v
+			}
+		}
+		vecGemmAxpy(rd, w.Data, colsC.Data, oc, hw, ckk, ckk, 1, true)
+	} else {
+		vecGemmAxpy(rd, w.Data, colsC.Data, oc, hw, ckk, ckk, 1, false)
+	}
+	ws.Put(colsC)
+	return res
+}
+
+// Conv2DBackwardWS is the vec backend's private conv backward (found by the
+// package-level Conv2DBackwardWS through the convBackwarder probe). The same
+// transposed lowering removes every per-element gather the generic path
+// does: gy is already the [OC, HW] matrix (no gmat transpose build), dW is
+// the NT product gy x colsC^T over contiguous rows, the input gradient is
+// produced directly in the transposed layout dcolsT = W^T x gy, and the
+// col2im scatter of dcolsT becomes shifted vector adds for stride-1 convs.
+func (vecBackend) Conv2DBackwardWS(ws *Workspace, x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *Tensor) {
+	oc := w.Dim(0)
+	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := s.OutSize(h, wid)
+	hw := oh * ow
+	ckk := c * s.KH * s.KW
+	colsC := ws.GetDirty(ckk, hw)
+	vecIm2colT(colsC.Data, x, s, oh, ow)
+	// dW = gy x colsC^T -> [OC, CKK]: dot products of hw-long rows.
+	dw = ws.GetDirty(oc, c, s.KH, s.KW)
+	vecGemmDot(dw.Data, gy.Data, colsC.Data, oc, ckk, hw)
+	// db = per-channel sums of gy.
+	db = ws.GetDirty(oc)
+	for ch := 0; ch < oc; ch++ {
+		var sum float32
+		for _, v := range gy.Data[ch*hw : (ch+1)*hw] {
+			sum += v
+		}
+		db.Data[ch] = sum
+	}
+	if needInput {
+		// dcolsT = W^T x gy -> [CKK, HW] (ATB form: W stored [OC, CKK]).
+		dcolsT := ws.GetDirty(ckk, hw)
+		vecGemmAxpy(dcolsT.Data, w.Data, gy.Data, ckk, hw, oc, 1, ckk, false)
+		dx = ws.Get(c, h, wid)
+		vecCol2imT(dx, dcolsT.Data, s, oh, ow)
+		ws.Put(dcolsT)
+	}
+	ws.Put(colsC)
+	return dx, dw, db
+}
+
+// vecIm2colT lowers a CHW input into the transposed im2col layout
+// dd[(ch*KH*KW + ky*KW + kx)*hw + oy*ow + ox]. Rows are independent, and
+// for stride-1 each (row, oy) pair is one contiguous copy of the input with
+// the padding edges cleared.
+func vecIm2colT(dd []float32, x *Tensor, s ConvSpec, oh, ow int) {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	xd := x.Data
+	kk := s.KH * s.KW
+	hw := oh * ow
+	Parallel(c*kk, 1, func(plo, phi int) {
+		for p := plo; p < phi; p++ {
+			ch, r := p/kk, p%kk
+			ky, kx := r/s.KW, r%s.KW
+			base := ch * h * w
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*s.SH - s.PH + ky
+				drow := dd[p*hw+oy*ow : p*hw+(oy+1)*ow]
+				if iy < 0 || iy >= h {
+					clear(drow)
+					continue
+				}
+				src := base + iy*w
+				if s.SW == 1 {
+					off := kx - s.PW // ix = ox + off
+					lo, hi := 0, ow
+					if -off > lo {
+						lo = -off
+					}
+					if w-off < hi {
+						hi = w - off
+					}
+					if hi < lo {
+						hi = lo
+					}
+					clear(drow[:lo])
+					copy(drow[lo:hi], xd[src+off+lo:src+off+hi])
+					clear(drow[hi:])
+					continue
+				}
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*s.SW - s.PW + kx
+					if ix < 0 || ix >= w {
+						drow[ox] = 0
+					} else {
+						drow[ox] = xd[src+ix]
+					}
+				}
+			}
+		}
+	})
+}
+
+// vecCol2imT scatters the transposed gradient layout [CKK, HW] back into a
+// CHW tensor, accumulating into dst's existing contents. For stride-1 each
+// (row, oy) contribution is a shifted vector add (saxpy with a=1); rows of
+// different kernel offsets within one channel overlap in dst, so the
+// parallel split is per channel like the generic Col2imInto.
+func vecCol2imT(dst *Tensor, cd []float32, s ConvSpec, oh, ow int) {
+	c, h, w := dst.Dim(0), dst.Dim(1), dst.Dim(2)
+	od := dst.Data
+	kk := s.KH * s.KW
+	hw := oh * ow
+	Parallel(c, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			base := ch * h * w
+			for r := 0; r < kk; r++ {
+				ky, kx := r/s.KW, r%s.KW
+				p := ch*kk + r
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s.SH - s.PH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srow := cd[p*hw+oy*ow : p*hw+(oy+1)*ow]
+					drow := base + iy*w
+					if s.SW == 1 {
+						off := kx - s.PW
+						lo, hi := 0, ow
+						if -off > lo {
+							lo = -off
+						}
+						if w-off < hi {
+							hi = w - off
+						}
+						if hi <= lo {
+							continue
+						}
+						saxpyf(od[drow+off+lo:drow+off+hi], 1, srow[lo:hi])
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s.SW - s.PW + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						od[drow+ix] += srow[ox]
+					}
+				}
+			}
+		}
+	})
+}

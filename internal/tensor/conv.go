@@ -148,48 +148,19 @@ func Conv2D(x, w, b *Tensor, s ConvSpec) *Tensor {
 }
 
 // Conv2DWS is Conv2D with every buffer (scratch and result) leased from ws;
-// a nil ws falls back to plain allocation. The im2col lowering, the GEMM
-// against the weight matrix and the [OH*OW,OC]→[OC,OH,OW] transposition are
-// fused into a single Parallel pass over output rows, so each chunk's
-// column block stays cache-resident and one worker dispatch covers the
-// whole convolution.
+// a nil ws falls back to plain allocation. Shapes are validated here, then
+// the fused im2col+GEMM forward is dispatched to the workspace's compute
+// backend (the process default for nil or unconfigured workspaces).
 func Conv2DWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
 	oc := w.Dim(0)
-	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
+	c := x.Dim(0)
 	if w.Dim(1) != c || w.Dim(2) != s.KH || w.Dim(3) != s.KW {
 		panic(fmt.Sprintf("tensor: Conv2D weight %v incompatible with input %v spec %+v", w.Shape(), x.Shape(), s))
 	}
 	if b != nil && b.Len() != oc {
 		panic(fmt.Sprintf("tensor: Conv2D bias len %d != out channels %d", b.Len(), oc))
 	}
-	oh, ow := s.OutSize(h, wid)
-	ckk := c * s.KH * s.KW
-	hw := oh * ow
-	colsT := ws.GetDirty(hw, ckk)
-	res := ws.GetDirty(oc, oh, ow)
-	cd, wd, rd := colsT.Data, w.Data, res.Data
-	var bd []float32
-	if b != nil {
-		bd = b.Data
-	}
-	Parallel(oh, 2, func(lo, hi int) {
-		for oy := lo; oy < hi; oy++ {
-			im2colRow(cd, x, s, oy, ow, ckk)
-			for ox := 0; ox < ow; ox++ {
-				p := oy*ow + ox
-				crow := cd[p*ckk : (p+1)*ckk]
-				for ch := 0; ch < oc; ch++ {
-					v := sdot(crow, wd[ch*ckk:(ch+1)*ckk])
-					if bd != nil {
-						v += bd[ch]
-					}
-					rd[ch*hw+p] = v
-				}
-			}
-		}
-	})
-	ws.Put(colsT)
-	return res
+	return ws.Backend().Conv2DWS(ws, x, w, b, s)
 }
 
 // Conv2DBackward computes gradients of a Conv2D call. gy is the output
@@ -200,11 +171,22 @@ func Conv2DBackward(x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *T
 	return Conv2DBackwardWS(nil, x, w, gy, s, needInput)
 }
 
+// convBackwarder is the optional backend extension for a fused conv
+// backward. Backends that implement it (vec) own the whole gradient
+// computation; others get the generic im2col path below, which still routes
+// its two GEMMs through the backend's MatMul kernels.
+type convBackwarder interface {
+	Conv2DBackwardWS(ws *Workspace, x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *Tensor)
+}
+
 // Conv2DBackwardWS is Conv2DBackward with scratch and results leased from
 // ws (nil ws allocates). The returned gradients are workspace leases: they
 // stay valid until the workspace resets, which in the autodiff tape's usage
 // outlives the optimizer step that consumes them.
 func Conv2DBackwardWS(ws *Workspace, x, w, gy *Tensor, s ConvSpec, needInput bool) (dx, dw, db *Tensor) {
+	if cb, ok := ws.Backend().(convBackwarder); ok {
+		return cb.Conv2DBackwardWS(ws, x, w, gy, s, needInput)
+	}
 	oc := w.Dim(0)
 	c, h, wid := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := s.OutSize(h, wid)
@@ -218,10 +200,11 @@ func Conv2DBackwardWS(ws *Workspace, x, w, gy *Tensor, s ConvSpec, needInput boo
 			gmat.Data[p*oc+ch] = v
 		}
 	}
+	bk := ws.Backend()
 	cols := Im2col(x, s, ws.GetDirty(hw, ckk)) // [OH*OW, CKK]
 	// dW = gyᵀ × cols → [OC, CKK], written directly into the 4-D gradient.
 	dw = ws.GetDirty(oc, c, s.KH, s.KW)
-	gemmAxpy(dw.Data, gmat.Data, cols.Data, oc, ckk, hw, 1, oc, false)
+	bk.MatMulATBInto(dw.Data, gmat.Data, cols.Data, oc, ckk, hw, false)
 	// db = column sums of gy
 	db = ws.GetDirty(oc)
 	for ch := 0; ch < oc; ch++ {
@@ -235,7 +218,7 @@ func Conv2DBackwardWS(ws *Workspace, x, w, gy *Tensor, s ConvSpec, needInput boo
 	if needInput {
 		// dcols = gy × Wmat → [OH*OW, CKK], then scatter back to CHW.
 		dcols := ws.GetDirty(hw, ckk)
-		gemmAxpy(dcols.Data, gmat.Data, w.Data, hw, ckk, oc, oc, 1, false)
+		bk.MatMulInto(dcols.Data, gmat.Data, w.Data, hw, ckk, oc, false)
 		dx = ws.Get(c, h, wid)
 		Col2imInto(dx, dcols, s)
 		ws.Put(dcols)

@@ -137,18 +137,29 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v × %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	gemmAxpy(out.Data, a.Data, b.Data, m, n, k, k, 1, true)
+	DefaultBackend().MatMulInto(out.Data, a.Data, b.Data, m, n, k, true)
 	return out
 }
 
-// MatMulInto computes dst = a×b, or dst += a×b when accumulate is true.
+// MatMulInto computes dst = a×b, or dst += a×b when accumulate is true,
+// on the process-default backend.
 func MatMulInto(dst, a, b *Tensor, accumulate bool) {
+	MatMulIntoOn(nil, dst, a, b, accumulate)
+}
+
+// MatMulIntoOn is MatMulInto on an explicit backend (nil means the process
+// default). Shape validation happens here, so backends can assume
+// consistent dimensions.
+func MatMulIntoOn(bk Backend, dst, a, b *Tensor, accumulate bool) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst %v = %v × %v", dst.shape, a.shape, b.shape))
 	}
-	gemmAxpy(dst.Data, a.Data, b.Data, m, n, k, k, 1, accumulate)
+	if bk == nil {
+		bk = DefaultBackend()
+	}
+	bk.MatMulInto(dst.Data, a.Data, b.Data, m, n, k, accumulate)
 }
 
 // MatMulATB computes aᵀ×b for a [k,m], b [k,n] → [m,n]. Used by conv
@@ -159,14 +170,24 @@ func MatMulATB(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulATBInto computes dst = aᵀ×b, or dst += aᵀ×b when accumulate is true.
+// MatMulATBInto computes dst = aᵀ×b, or dst += aᵀ×b when accumulate is
+// true, on the process-default backend.
 func MatMulATBInto(dst, a, b *Tensor, accumulate bool) {
+	MatMulATBIntoOn(nil, dst, a, b, accumulate)
+}
+
+// MatMulATBIntoOn is MatMulATBInto on an explicit backend (nil means the
+// process default).
+func MatMulATBIntoOn(bk Backend, dst, a, b *Tensor, accumulate bool) {
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulATBInto shape mismatch dst %v = %vᵀ × %v", dst.shape, a.shape, b.shape))
 	}
-	gemmAxpy(dst.Data, a.Data, b.Data, m, n, k, 1, m, accumulate)
+	if bk == nil {
+		bk = DefaultBackend()
+	}
+	bk.MatMulATBInto(dst.Data, a.Data, b.Data, m, n, k, accumulate)
 }
 
 // MatMulABT computes a×bᵀ for a [m,k], b [n,k] → [m,n]. Used by conv
@@ -177,14 +198,23 @@ func MatMulABT(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulABTInto computes dst = a×bᵀ.
+// MatMulABTInto computes dst = a×bᵀ on the process-default backend.
 func MatMulABTInto(dst, a, b *Tensor) {
+	MatMulABTIntoOn(nil, dst, a, b)
+}
+
+// MatMulABTIntoOn is MatMulABTInto on an explicit backend (nil means the
+// process default).
+func MatMulABTIntoOn(bk Backend, dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulABTInto shape mismatch dst %v = %v × %vᵀ", dst.shape, a.shape, b.shape))
 	}
-	gemmDot(dst.Data, a.Data, b.Data, m, n, k)
+	if bk == nil {
+		bk = DefaultBackend()
+	}
+	bk.MatMulABTInto(dst.Data, a.Data, b.Data, m, n, k)
 }
 
 // Transpose returns the [n,m] transpose of a rank-2 [m,n] tensor.

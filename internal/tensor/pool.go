@@ -118,8 +118,29 @@ func (p *Pool) Release(t *Tensor) {
 // workspace, which is what keeps concurrent serve sessions from ever
 // aliasing each other's buffers.
 type Workspace struct {
-	pool   *Pool
-	leased []*Tensor
+	pool    *Pool
+	leased  []*Tensor
+	backend Backend // nil means the process default
+}
+
+// SetBackend pins the compute backend used by kernels dispatched through
+// this workspace (Conv2DWS and the autodiff tape's matmuls). nil reverts to
+// the process default. It returns w so construction can chain.
+func (w *Workspace) SetBackend(b Backend) *Workspace {
+	if w != nil {
+		w.backend = b
+	}
+	return w
+}
+
+// Backend returns the workspace's compute backend, falling back to the
+// process default for nil or unconfigured workspaces so workspace-threaded
+// kernel code needs no nil checks.
+func (w *Workspace) Backend() Backend {
+	if w == nil || w.backend == nil {
+		return DefaultBackend()
+	}
+	return w.backend
 }
 
 // NewWorkspace returns a workspace over SharedPool.

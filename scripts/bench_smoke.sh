@@ -5,18 +5,18 @@
 # Usage:
 #   bench_smoke.sh [output.json]
 #
-# The output path defaults to $BENCH_JSON, then BENCH_pr5.json. Scenario
+# The output path defaults to $BENCH_JSON, then BENCH_pr6.json. Scenario
 # selection comes from $SCENARIOS (comma-separated names/globs; default is
-# the CI regression-gate matrix, including the fleet/* sharded-fabric
-# family). CI compares the output against the committed baseline with
+# the CI regression-gate matrix, including the fleet/* sharded-fabric and
+# backend/* compute-backend families). CI compares the output against the committed baseline with
 # `benchdiff ci/bench_baseline.json <output>`; allocation budgets are
 # additionally enforced deterministically by the TestAllocBudget suite
 # (alloc_test.go) in the test job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-${BENCH_JSON:-BENCH_pr5.json}}"
-SCENARIOS="${SCENARIOS:-bandwidth-sweep/*,multiclient/c1,alloc/distill-step,compression/diff-codecs,chaos/drop-midstream,fleet/*}"
+OUT="${1:-${BENCH_JSON:-BENCH_pr6.json}}"
+SCENARIOS="${SCENARIOS:-bandwidth-sweep/*,multiclient/c1,alloc/distill-step,compression/diff-codecs,chaos/drop-midstream,fleet/*,backend/*}"
 
 echo "== scenario smoke (${SCENARIOS}) -> ${OUT} =="
 SHADOWTUTOR_PRETRAIN_STEPS="${SHADOWTUTOR_PRETRAIN_STEPS:-120}" \
