@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/nn"
 	"repro/internal/teacher"
@@ -42,6 +43,7 @@ func main() {
 		reconnect = flag.Bool("reconnect", true, "survive connection drops: redial with backoff and resume the session")
 		backoff   = flag.Duration("reconnect-backoff", 100*time.Millisecond, "initial redial backoff (doubles per attempt, capped at 1s)")
 		attempts  = flag.Int("reconnect-attempts", 8, "redial attempts per outage before giving up")
+		deltaCk   = flag.Bool("delta-checkpoints", false, "pre-train the shared base locally and advertise base-relative checkpoints (the server falls back to raw when its base differs)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,17 @@ func main() {
 	}
 	if *evalIoU {
 		client.EvalTeacher = teacher.NewOracle(1)
+	}
+	if *deltaCk {
+		// The pre-training recipe is deterministic, so a client that runs it
+		// with the server's settings holds a bit-identical base; the Hello
+		// base-hash check downgrades to raw checkpoints when it doesn't.
+		log.Printf("pre-training shared base for delta checkpoints…")
+		base, err := experiments.FreshStudentFor(client.Cfg)
+		if err != nil {
+			log.Fatalf("pre-training failed: %v", err)
+		}
+		client.Base = base.Params
 	}
 	log.Printf("streaming %s (%d frames) to %s…", *stream, *frames, *connect)
 	if err := client.Run(conn, gen, *frames); err != nil {

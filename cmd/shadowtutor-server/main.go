@@ -44,6 +44,7 @@ func main() {
 		resumeTTL   = flag.Duration("resume-ttl", 2*time.Minute, "how long a disconnected session stays resumable (negative disables resumption)")
 		journal     = flag.Int("journal-depth", 8, "recent student diffs journaled per session for resume replay")
 		backend     = flag.String("backend", "", "tensor compute backend for every shard's kernels (default: process default; e.g. \"vec\", \"reference\")")
+		envCodec    = flag.String("envelope-codec", "", "compress codec for checkpoints and handoff envelopes, e.g. \"delta+int8\" (empty = legacy raw wire format)")
 	)
 	flag.Parse()
 
@@ -79,7 +80,11 @@ func main() {
 			BatchWorkers: *workers,
 			ResumeTTL:    *resumeTTL,
 			JournalDepth: *journal,
-			Logf:         log.Printf,
+			// Delta-encode checkpoints and handoff envelopes against the
+			// shared pretrained base; clients that don't advertise the
+			// capability still receive raw checkpoints.
+			EnvelopeCodec: *envCodec,
+			Logf:          log.Printf,
 		}
 	}
 

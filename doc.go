@@ -44,6 +44,21 @@
 //
 //	go run ./cmd/shadowtutor-server -shards 4 -max-sessions 32
 //
+// Every full model that crosses a process boundary — handshake checkpoints,
+// resume-full fallbacks, cross-shard handoff envelopes — can be
+// delta-encoded against the shared pretrained base instead of shipped raw:
+// -envelope-codec names a compress codec ("delta+int8" is the deployment
+// choice; "delta+raw" is bit-exact), and clients opt in with
+// -delta-checkpoints, which pre-trains the same deterministic base locally
+// and advertises it in the Hello (mismatched bases downgrade to raw
+// automatically, as do clients that never opt in):
+//
+//	go run ./cmd/shadowtutor-server -shards 4 -envelope-codec delta+int8
+//	go run ./cmd/shadowtutor-client -connect 127.0.0.1:7607 -delta-checkpoints
+//
+// See ARCHITECTURE.md "Delta checkpoints & envelope v2" for the wire
+// formats and what may and may not travel lossily.
+//
 // To regenerate the paper's tables, or the multi-client scaling table:
 //
 //	go run ./cmd/stbench -frames 600
@@ -79,7 +94,7 @@
 //	go run ./cmd/stbench -list
 //	go run ./cmd/stbench -scenario bandwidth-sweep/8mbps-c1-raw
 //	go run ./cmd/stbench -scenario 'chaos/*'
-//	go run ./cmd/stbench -scenario 'fleet/*' -json BENCH_pr5.json
+//	go run ./cmd/stbench -scenario 'fleet/*' -json BENCH_pr7.json
 //
 // The chaos/* family injects scripted mid-stream connection faults
 // (netsim.FaultyConn) and measures the resilience subsystem: reconnects,
@@ -93,5 +108,5 @@
 // cmd/benchdiff compares two such JSON files under per-metric tolerances
 // and exits nonzero on regression — the CI perf gate:
 //
-//	go run ./cmd/benchdiff ci/bench_baseline.json BENCH_pr5.json
+//	go run ./cmd/benchdiff ci/bench_baseline.json BENCH_pr7.json
 package repro

@@ -116,6 +116,12 @@ func (Int8) Decode(r io.Reader) ([]*nn.Parameter, error) {
 		if err := binary.Read(r, binary.LittleEndian, &scale); err != nil {
 			return nil, fmt.Errorf("compress: int8 scale: %w", err)
 		}
+		// One byte per element follows; refuse to allocate the tensor when
+		// the stream cannot possibly hold that much (hostile-header guard,
+		// same idiom as nn.ReadNamed).
+		if err := checkClaim(r, int64(numElems(shape))); err != nil {
+			return nil, err
+		}
 		t := tensor.New(shape...)
 		buf := make([]int8, t.Len())
 		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
@@ -129,15 +135,103 @@ func (Int8) Decode(r io.Reader) ([]*nn.Parameter, error) {
 	return params, nil
 }
 
+// ---------------------------------------------------------------------------
+// Bf16 codec: mantissa truncation, full exponent range, 2× smaller.
+// ---------------------------------------------------------------------------
+
+// Bf16 stores each float32 as its top 16 bits (sign, all 8 exponent bits,
+// 7 mantissa bits) with round-to-nearest-even. Relative error is bounded by
+// 2⁻⁸ and — unlike linear int8 quantization — no nonzero value ever
+// collapses to zero, because the exponent survives intact. That property is
+// what Adam's second moment needs: v sits under a square root in the update
+// denominator, so an int8 scale that flushes small entries to zero inflates
+// the resumed session's steps by ~1/ε until β₂ decay rebuilds them, while a
+// 0.4% relative perturbation is lost in gradient noise.
+type Bf16 struct{}
+
+// Name implements Codec.
+func (Bf16) Name() string { return "bf16" }
+
+// f32bitsToBf16 rounds to nearest-even. NaNs truncate with a forced mantissa
+// bit so the payload cannot round or truncate into an Inf bit pattern.
+func f32bitsToBf16(bits uint32) uint16 {
+	if bits&0x7fffffff > 0x7f800000 {
+		return uint16(bits>>16) | 0x0040
+	}
+	return uint16((bits + 0x7fff + (bits>>16)&1) >> 16)
+}
+
+// Encode implements Codec.
+func (Bf16) Encode(w io.Writer, params []*nn.Parameter) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeHeader(w, p); err != nil {
+			return err
+		}
+		buf := make([]uint16, p.Value.Len())
+		for i, v := range p.Value.Data {
+			buf[i] = f32bitsToBf16(math.Float32bits(v))
+		}
+		if err := binary.Write(w, binary.LittleEndian, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode implements Codec.
+func (Bf16) Decode(r io.Reader) ([]*nn.Parameter, error) {
+	count, err := readCount(r)
+	if err != nil {
+		return nil, err
+	}
+	params := make([]*nn.Parameter, 0, count)
+	for i := 0; i < count; i++ {
+		name, shape, err := readHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		// Two bytes per element follow (hostile-header guard, as in Int8).
+		if err := checkClaim(r, 2*int64(numElems(shape))); err != nil {
+			return nil, err
+		}
+		t := tensor.New(shape...)
+		buf := make([]uint16, t.Len())
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("compress: bf16 data: %w", err)
+		}
+		for j, h := range buf {
+			t.Data[j] = math.Float32frombits(uint32(h) << 16)
+		}
+		params = append(params, &nn.Parameter{Name: name, Value: t})
+	}
+	return params, nil
+}
+
 // ByName resolves a codec from a scenario-friendly name: "raw" (or empty),
-// "int8", or "pruneNN" — magnitude pruning keeping NN percent of entries
-// per tensor, e.g. "prune25".
+// "int8", "bf16", "pruneNN" — magnitude pruning keeping NN percent of
+// entries per tensor, e.g. "prune25" — or "delta+<inner>", the base-relative
+// wrapper around any of the former (the returned Delta has a nil Base; bind
+// one with WithBase before use).
 func ByName(name string) (Codec, bool) {
 	switch {
 	case name == "" || name == "raw":
 		return Raw{}, true
 	case name == "int8":
 		return Int8{}, true
+	case name == "bf16":
+		return Bf16{}, true
+	case len(name) > len("delta+") && name[:len("delta+")] == "delta+":
+		inner, ok := ByName(name[len("delta+"):])
+		if !ok {
+			return nil, false
+		}
+		if _, nested := inner.(*Delta); nested {
+			return nil, false
+		}
+		return &Delta{Inner: inner}, true
 	case len(name) > len("prune") && name[:len("prune")] == "prune":
 		// strconv.Atoi consumes the whole suffix, so trailing garbage
 		// ("prune25x") fails instead of silently resolving a codec.
@@ -167,8 +261,12 @@ type Pruned struct {
 	Reference *nn.ParamSet
 }
 
-// Name implements Codec.
-func (p Pruned) Name() string { return fmt.Sprintf("prune%.0f%%", p.KeepFraction*100) }
+// Name implements Codec. The form round-trips through ByName ("prune25"),
+// so scenario specs and wire self-identification resolve the same codec
+// they were produced with.
+func (p Pruned) Name() string {
+	return fmt.Sprintf("prune%d", int(math.Round(p.KeepFraction*100)))
+}
 
 // Encode implements Codec.
 func (p Pruned) Encode(w io.Writer, params []*nn.Parameter) error {
@@ -234,6 +332,10 @@ func (p Pruned) Decode(r io.Reader) ([]*nn.Parameter, error) {
 		}
 		if int(n) > t.Len() {
 			return nil, fmt.Errorf("compress: prune count %d exceeds tensor size %d", n, t.Len())
+		}
+		// Each pair is 8 bytes; a count the stream cannot back is hostile.
+		if err := checkClaim(r, 8*int64(n)); err != nil {
+			return nil, err
 		}
 		for j := uint32(0); j < n; j++ {
 			var idx uint32
@@ -319,6 +421,7 @@ func readHeader(r io.Reader) (string, []int, error) {
 		return "", nil, fmt.Errorf("compress: implausible rank %d", rank)
 	}
 	shape := make([]int, rank)
+	elems := int64(1)
 	for i := range shape {
 		var d int32
 		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
@@ -327,9 +430,36 @@ func readHeader(r io.Reader) (string, []int, error) {
 		if d < 0 || d > 1<<24 {
 			return "", nil, fmt.Errorf("compress: implausible dim %d", d)
 		}
+		// Bound the running product per multiply so a hostile shape cannot
+		// overflow int64 or demand a giant allocation before any payload
+		// byte is read (the nn.ReadNamed idiom).
+		elems *= int64(d)
+		if elems > 1<<28 {
+			return "", nil, fmt.Errorf("compress: implausible tensor size %d elements", elems)
+		}
 		shape[i] = int(d)
 	}
 	return string(name), shape, nil
+}
+
+// numElems returns the element count of a readHeader-validated shape.
+func numElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// checkClaim rejects a header claiming more payload bytes than the reader
+// still holds, when the reader can say (bytes.Reader, bufWriter, ...).
+// Streaming readers without Len pass through — the subsequent reads fail
+// with EOF before any oversized write happens.
+func checkClaim(r io.Reader, claimed int64) error {
+	if lr, ok := r.(interface{ Len() int }); ok && claimed > int64(lr.Len()) {
+		return fmt.Errorf("compress: header claims %d bytes, %d remain", claimed, lr.Len())
+	}
+	return nil
 }
 
 func readCount(r io.Reader) (int, error) {
@@ -404,6 +534,9 @@ func (w *bufWriter) Write(p []byte) (int, error) {
 	w.b = append(w.b, p...)
 	return len(p), nil
 }
+
+// Len reports the unread byte count, so checkClaim guards round trips too.
+func (w *bufWriter) Len() int { return len(w.b) - w.off }
 
 func (w *bufWriter) Read(p []byte) (int, error) {
 	if w.off >= len(w.b) {

@@ -1,0 +1,196 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// deltaFixture builds a base set and an "after training" view of it: most
+// tensors bit-identical to the base (frozen), one sparsely nudged, one
+// densely rewritten — the shape of a real student checkpoint.
+func deltaFixture(seed int64) (*nn.ParamSet, []*nn.Parameter) {
+	rng := rand.New(rand.NewSource(seed))
+	base := nn.NewParamSet()
+	mk := func(name string, n int) *tensor.Tensor {
+		t := tensor.New(n)
+		for i := range t.Data {
+			t.Data[i] = float32(rng.NormFloat64())
+		}
+		base.Add(name, t)
+		return t
+	}
+	frozen := mk("frozen.w", 256)
+	sparse := mk("sparse.w", 256)
+	densed := mk("dense.w", 256)
+
+	clone := func(t *tensor.Tensor) *tensor.Tensor {
+		c := tensor.New(t.Shape()...)
+		copy(c.Data, t.Data)
+		return c
+	}
+	s := clone(sparse)
+	for i := 0; i < 5; i++ {
+		s.Data[rng.Intn(s.Len())] += float32(rng.NormFloat64())
+	}
+	d := clone(densed)
+	for i := range d.Data {
+		d.Data[i] += float32(rng.NormFloat64()) * 0.01
+	}
+	return base, []*nn.Parameter{
+		{Name: "frozen.w", Value: clone(frozen)},
+		{Name: "sparse.w", Value: s},
+		{Name: "dense.w", Value: d},
+	}
+}
+
+func TestDeltaRawRoundTripBitExact(t *testing.T) {
+	base, params := deltaFixture(11)
+	c := &Delta{Inner: Raw{}, Base: base}
+	var buf bufWriter
+	if err := c.Encode(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(params) {
+		t.Fatalf("round trip lost parameters: %d vs %d", len(got), len(params))
+	}
+	for i, p := range params {
+		if got[i].Name != p.Name {
+			t.Fatalf("param %d name %q, want %q", i, got[i].Name, p.Name)
+		}
+		for j, v := range p.Value.Data {
+			if math.Float32bits(got[i].Value.Data[j]) != math.Float32bits(v) {
+				t.Fatalf("%s[%d] = %x, want %x — delta+raw must be bit-exact",
+					p.Name, j, math.Float32bits(got[i].Value.Data[j]), math.Float32bits(v))
+			}
+		}
+	}
+}
+
+// A nil base is the all-zeros base: the codec stays total and bit-exact
+// under raw — the contract the Adam-moment envelope blobs rely on.
+func TestDeltaNilBaseBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	params := randParams(rng, 4)
+	c := &Delta{Inner: Raw{}}
+	var buf bufWriter
+	if err := c.Encode(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range params {
+		for j, v := range p.Value.Data {
+			if math.Float32bits(got[i].Value.Data[j]) != math.Float32bits(v) {
+				t.Fatalf("%s[%d] drifted under nil-base delta+raw", p.Name, j)
+			}
+		}
+	}
+}
+
+// Dense tensors through a lossy inner reconstruct as base + quantized
+// delta, so the error bound is the int8 bound over the DELTA magnitudes —
+// much tighter than quantizing the absolute values.
+func TestDeltaInt8ErrorBoundedByDeltaScale(t *testing.T) {
+	base, params := deltaFixture(13)
+	c := &Delta{Inner: Int8{}, Base: base}
+	var buf bufWriter
+	if err := c.Encode(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range params {
+		ref := base.Get(p.Name)
+		var maxDelta float64
+		for j, v := range p.Value.Data {
+			if d := math.Abs(float64(v - ref.Value.Data[j])); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		bound := maxDelta/127 + 1e-12
+		for j, v := range p.Value.Data {
+			if e := math.Abs(float64(got[i].Value.Data[j] - v)); e > bound {
+				t.Fatalf("%s[%d] error %v exceeds delta-scale bound %v", p.Name, j, e, bound)
+			}
+		}
+	}
+}
+
+// The whole point: a checkpoint that mostly equals the base must shrink
+// dramatically versus shipping it raw.
+func TestDeltaShrinksNearBaseCheckpoint(t *testing.T) {
+	base, params := deltaFixture(14)
+	raw, err := EncodedBytes(Raw{}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := EncodedBytes(&Delta{Inner: Raw{}, Base: base}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 of 3 tensors collapse to a header byte or a handful of sparse
+	// pairs; only dense.w pays full freight.
+	if float64(d) > 0.5*float64(raw) {
+		t.Fatalf("delta+raw (%dB) should be well under half of raw (%dB)", d, raw)
+	}
+}
+
+func TestDeltaRejectsTruncatedAndCorrupt(t *testing.T) {
+	base, params := deltaFixture(15)
+	c := &Delta{Inner: Raw{}, Base: base}
+	var buf bufWriter
+	if err := c.Encode(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf.b); cut += 37 {
+		trunc := bufWriter{b: buf.b[:cut]}
+		if _, err := c.Decode(&trunc); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+	bad := append([]byte(nil), buf.b...)
+	bad[0] = 'X' // magic
+	if _, err := c.Decode(&bufWriter{b: bad}); err == nil {
+		t.Fatal("corrupt magic must error")
+	}
+}
+
+func TestDeltaRejectsNestedInner(t *testing.T) {
+	c := &Delta{Inner: &Delta{Inner: Raw{}}}
+	var buf bufWriter
+	if err := c.Encode(&buf, nil); err == nil {
+		t.Fatal("nested delta must refuse to encode")
+	}
+	if _, err := (&Delta{Inner: Raw{}}).Decode(&bufWriter{}); err == nil {
+		t.Fatal("empty stream must error")
+	}
+}
+
+// WithBase binds a base onto a ByName-resolved delta and leaves plain
+// codecs untouched.
+func TestWithBase(t *testing.T) {
+	base, _ := deltaFixture(16)
+	c, ok := ByName("delta+int8")
+	if !ok {
+		t.Fatal("delta+int8 must resolve")
+	}
+	bound := WithBase(c, base)
+	if d, ok := bound.(*Delta); !ok || d.Base != base {
+		t.Fatalf("WithBase did not bind: %#v", bound)
+	}
+	if plain := WithBase(Int8{}, base); plain != (Int8{}) {
+		t.Fatalf("WithBase must pass plain codecs through, got %#v", plain)
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,6 +48,13 @@ type Client struct {
 	// incoming updates — the hook a codec-aware harness uses to decompress
 	// diffs the server encoded with a matching Server.EncodeDiff.
 	DecodeDiff func([]byte) (transport.StudentDiff, error)
+	// Base, when non-nil, is the shared pretrained parameter set this
+	// client holds. It advertises CapDeltaCheckpoint (with the base hash)
+	// in Hello and Resume, letting the server ship base-relative delta
+	// checkpoints instead of full nn.WriteNamed bodies. The checkpoint
+	// decode path sniffs the body format, so a server that ignores the
+	// capability still interoperates.
+	Base *nn.ParamSet
 	// TrackLatency records per-frame wall time into Result.FrameLatencies
 	// (one entry per processed frame), feeding p50/p99 latency metrics.
 	TrackLatency bool
@@ -70,6 +76,25 @@ type Client struct {
 	Result ClientResult
 
 	strides []float64 // stride trace accumulated during Run
+
+	baseHashOnce sync.Once
+	baseHash     uint64
+}
+
+// caps returns the capability bits and base hash this client advertises in
+// Hello and Resume. The hash is computed once per client — fleets of
+// clients sharing one base each pay it a single time.
+func (c *Client) caps() (caps, baseHash uint64) {
+	if c.Base == nil {
+		return 0, 0
+	}
+	c.baseHashOnce.Do(func() { c.baseHash = nn.HashParams(c.Base.All()) })
+	return transport.CapDeltaCheckpoint, c.baseHash
+}
+
+// decodeCheckpoint parses a MsgStudentFull body in either wire format.
+func (c *Client) decodeCheckpoint(body []byte) ([]*nn.Parameter, error) {
+	return DecodeCheckpointBody(body, c.Base)
 }
 
 // ClientResult summarises a client session.
@@ -570,11 +595,14 @@ func helloReject(body []byte) error {
 // handshake performs the fresh Hello handshake on conn and applies the
 // initial checkpoint.
 func (c *Client) handshake(conn transport.Conn, rs *runState) error {
+	caps, baseHash := c.caps()
 	hello := transport.Hello{
 		Version:   transport.Version,
 		NumClass:  uint16(c.Student.Config.NumClasses),
 		Partial:   c.Cfg.Partial,
 		SessionID: c.SessionID,
+		Caps:      caps,
+		BaseHash:  baseHash,
 	}
 	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(hello)}); err != nil {
 		return fmt.Errorf("core: client hello: %w", err)
@@ -603,7 +631,7 @@ func (c *Client) handshake(conn transport.Conn, rs *runState) error {
 	if m.Type != transport.MsgStudentFull {
 		return fmt.Errorf("core: expected StudentFull, got %v", m.Type)
 	}
-	params, err := nn.ReadNamed(bytes.NewReader(m.Body))
+	params, err := c.decodeCheckpoint(m.Body)
 	if err != nil {
 		return err
 	}
@@ -720,7 +748,8 @@ func (c *Client) attemptRecovery(conn transport.Conn, sessionID, epoch, lastAppl
 	if fresh {
 		return c.freshRecovery(conn)
 	}
-	req := transport.Resume{SessionID: sessionID, Epoch: epoch, LastDiffSeq: lastApplied}
+	caps, baseHash := c.caps()
+	req := transport.Resume{SessionID: sessionID, Epoch: epoch, LastDiffSeq: lastApplied, Caps: caps, BaseHash: baseHash}
 	if err := conn.Send(transport.Message{Type: transport.MsgResume, Body: transport.EncodeResume(req)}); err != nil {
 		return recovered{}, fmt.Errorf("core: sending resume: %w", err)
 	}
@@ -748,7 +777,7 @@ func (c *Client) attemptRecovery(conn transport.Conn, sessionID, epoch, lastAppl
 		if m.Type != transport.MsgStudentFull {
 			return recovered{}, fmt.Errorf("core: expected StudentFull, got %v", m.Type)
 		}
-		params, err := nn.ReadNamed(bytes.NewReader(m.Body))
+		params, err := c.decodeCheckpoint(m.Body)
 		if err != nil {
 			return recovered{}, err
 		}
@@ -797,10 +826,13 @@ func (c *Client) freshRecovery(conn transport.Conn) (recovered, error) {
 // checkpoint is handed back through rs.initial so the main loop applies it
 // (weight mutation stays single-goroutine).
 func (c *Client) handshakeQuiet(conn transport.Conn, rs *runState) error {
+	caps, baseHash := c.caps()
 	hello := transport.Hello{
 		Version:  transport.Version,
 		NumClass: uint16(c.Student.Config.NumClasses),
 		Partial:  c.Cfg.Partial,
+		Caps:     caps,
+		BaseHash: baseHash,
 	}
 	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(hello)}); err != nil {
 		return fmt.Errorf("core: client re-hello: %w", err)
@@ -830,7 +862,7 @@ func (c *Client) handshakeQuiet(conn transport.Conn, rs *runState) error {
 	if m.Type != transport.MsgStudentFull {
 		return fmt.Errorf("core: expected StudentFull, got %v", m.Type)
 	}
-	params, err := nn.ReadNamed(bytes.NewReader(m.Body))
+	params, err := c.decodeCheckpoint(m.Body)
 	if err != nil {
 		return err
 	}

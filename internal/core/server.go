@@ -50,6 +50,15 @@ type Server struct {
 	// body must not be reused by the observer's peer; Loop passes each
 	// freshly encoded buffer.
 	OnDiff func(seq uint64, body []byte)
+	// Checkpoint, when non-nil, delta-encodes MsgStudentFull bodies against
+	// the shared pretrained base for clients that advertised
+	// CapDeltaCheckpoint with a matching base hash. Others (and a nil
+	// Checkpoint) get the legacy raw nn.WriteNamed body.
+	Checkpoint *CheckpointCodec
+	// OnCheckpoint, when non-nil, observes every MsgStudentFull sent during
+	// a handshake: the actual body size and the raw nn.WriteNamed baseline
+	// it replaced — the envelope_bytes/full_resend_bytes accounting hook.
+	OnCheckpoint func(actual, baseline int)
 
 	// DiffSeq is the sequence number of the last student diff produced
 	// (diffs are numbered 1, 2, …). It survives a detach/resume cycle with
@@ -119,6 +128,7 @@ func (s *Server) HandshakeWith(conn transport.Conn, m transport.Message) (transp
 		hello.Epoch = epoch
 	}
 
+	deltaOK := s.Checkpoint.Match(hello.Caps, hello.BaseHash)
 	ack := transport.Hello{
 		Version:   transport.Version,
 		NumClass:  uint16(s.Distiller.Student.Config.NumClasses),
@@ -126,10 +136,16 @@ func (s *Server) HandshakeWith(conn transport.Conn, m transport.Message) (transp
 		SessionID: hello.SessionID,
 		Epoch:     hello.Epoch,
 	}
+	if deltaOK {
+		// Echo the accepted capability so the client knows the negotiation
+		// outcome (the body is self-describing regardless).
+		ack.Caps = transport.CapDeltaCheckpoint
+		ack.BaseHash = s.Checkpoint.Hash()
+	}
 	if err := conn.Send(transport.Message{Type: transport.MsgHello, Body: transport.EncodeHello(ack)}); err != nil {
 		return transport.Hello{}, fmt.Errorf("core: sending hello ack: %w", err)
 	}
-	full, err := encodeParams(s.Distiller.Student.Params.All())
+	full, err := s.encodeCheckpoint(deltaOK)
 	if err != nil {
 		return transport.Hello{}, err
 	}
@@ -137,6 +153,27 @@ func (s *Server) HandshakeWith(conn transport.Conn, m transport.Message) (transp
 		return transport.Hello{}, fmt.Errorf("core: sending initial student: %w", err)
 	}
 	return hello, nil
+}
+
+// encodeCheckpoint builds the MsgStudentFull body — delta-encoded when the
+// peer negotiated it, raw otherwise — and reports actual vs baseline bytes
+// to the OnCheckpoint hook.
+func (s *Server) encodeCheckpoint(deltaOK bool) ([]byte, error) {
+	all := s.Distiller.Student.Params.All()
+	var body []byte
+	var err error
+	if deltaOK {
+		body, err = s.Checkpoint.EncodeBody(all)
+	} else {
+		body, err = encodeParams(all)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.OnCheckpoint != nil {
+		s.OnCheckpoint(len(body), nn.EncodedSize(all))
+	}
+	return body, nil
 }
 
 // Loop runs the steady-state half of Algorithm 3 (lines 2–7): receive a key

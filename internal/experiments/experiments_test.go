@@ -167,7 +167,7 @@ func TestAblationCompressionShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := tbl.String()
-	for _, want := range []string{"raw", "int8", "prune25%", "prune10%"} {
+	for _, want := range []string{"raw", "int8", "prune25", "prune10"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("compression ablation missing %q:\n%s", want, out)
 		}

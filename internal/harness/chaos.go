@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
@@ -24,12 +26,29 @@ import (
 // wireSizes returns the deterministic server→client message sizes (with
 // framing) of the default-architecture student under partial
 // distillation: the Hello ack, the full checkpoint, and one raw student
-// diff.
-func wireSizes() (helloAck, fullMsg, diffMsg int64) {
+// diff. envCodec is the scenario's Spec.EnvelopeCodec: when set, the
+// handshake checkpoint is the delta-encoded body a capable client receives
+// — at handshake the session clone still equals the base, so every
+// parameter rides the bit-copy mode and the body size depends only on the
+// architecture's names and shapes, making the offset as deterministic as
+// the raw one.
+func wireSizes(envCodec string) (helloAck, fullMsg, diffMsg int64) {
 	st := nn.NewStudentForWire()
 	st.SetPartial(true)
 	helloAck = transport.FrameOverhead + int64(len(transport.EncodeHello(transport.Hello{})))
 	fullMsg = transport.FrameOverhead + int64(nn.EncodedSize(st.Params.All()))
+	if c, ok := compress.ByName(envCodec); ok {
+		inner := c
+		if d, isDelta := c.(*compress.Delta); isDelta {
+			inner = d.Inner
+		}
+		ck := &core.CheckpointCodec{Base: st.Params, Codec: inner}
+		body, err := ck.EncodeBody(st.Params.All())
+		if err != nil {
+			panic(fmt.Sprintf("harness: sizing delta checkpoint: %v", err))
+		}
+		fullMsg = transport.FrameOverhead + int64(len(body))
+	}
 	// A raw diff body is FrameIndex (4) + Metric (8) + the trainable
 	// subset + Seq (8); see transport.EncodeStudentDiff.
 	diffMsg = transport.FrameOverhead + 4 + 8 + int64(nn.EncodedSize(nn.TrainableSubset(st.Params))) + 8
@@ -50,8 +69,8 @@ func keyFrameUploadBytes() int64 {
 // client has applied diff 1, diff 2 is journaled but lost in flight — a
 // genuine journal replay), the second severs the resumed connection
 // mid-diff again a couple of updates later.
-func dropMidstreamCuts() []int64 {
-	helloAck, fullMsg, diffMsg := wireSizes()
+func dropMidstreamCuts(envCodec string) []int64 {
+	helloAck, fullMsg, diffMsg := wireSizes(envCodec)
 	const resumeAckMsg = transport.FrameOverhead + 23 // status+epoch+head+count+reason-len
 	return []int64{
 		helloAck + fullMsg + diffMsg + diffMsg/2,
@@ -75,7 +94,7 @@ func simChaosDelta(spec Spec) (deltaPP, cleanMIoU float64, err error) {
 	// first-redial backoff, the resume handshake (Hello-ack sized), and the
 	// journal replay of the severed diff. At the default link this is
 	// ~80ms — matching the live harness's measured recovery_mean_ms.
-	helloAck, _, diffMsg := wireSizes()
+	helloAck, _, diffMsg := wireSizes(spec.EnvelopeCodec)
 	recovery := core.DefaultResumeBackoff +
 		netsim.DefaultLink().TransferTime(int(helloAck)) +
 		netsim.DefaultLink().TransferTime(int(diffMsg))
@@ -162,11 +181,12 @@ func init() {
 		Name: "chaos/drop-midstream",
 		Desc: "2 mid-diff connection cuts on the drone stream; resume via journal replay",
 		Spec: Spec{
-			Workload:     "drone",
-			Clients:      1,
-			Frames:       220,
-			ChaosCuts:    dropMidstreamCuts(),
-			ChaosDownCut: true,
+			Workload:      "drone",
+			Clients:       1,
+			Frames:        220,
+			ChaosCuts:     dropMidstreamCuts("delta+int8"),
+			ChaosDownCut:  true,
+			EnvelopeCodec: "delta+int8",
 		},
 		Run: runChaosWithBaseline,
 	})
@@ -185,11 +205,12 @@ func init() {
 		Name: "soak/chaos-churn",
 		Desc: "nightly: 4 clients × 400 frames with repeated mid-stream drops, run under -race",
 		Spec: Spec{
-			Workload:     "mixed",
-			Clients:      4,
-			Frames:       400,
-			ChaosCuts:    dropMidstreamCuts(),
-			ChaosDownCut: true,
+			Workload:      "mixed",
+			Clients:       4,
+			Frames:        400,
+			ChaosCuts:     dropMidstreamCuts("delta+int8"),
+			ChaosDownCut:  true,
+			EnvelopeCodec: "delta+int8",
 		},
 		Run: runChaosWithBaseline,
 	})

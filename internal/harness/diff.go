@@ -104,6 +104,20 @@ var DefaultChecks = map[string]Check{
 	// latency is machine-speed noise, so it only notes drift.
 	"extra.distill_speedup_x":         {HigherBetter, 0.25},
 	"extra.reference_distill_step_ms": {Informational, 0},
+
+	// Delta-checkpoint metrics (scenarios with Spec.EnvelopeCodec). The
+	// shrink ratio is the delta-checkpoint contract: model-state bytes
+	// crossing a process boundary must stay ≥5× under their raw baseline.
+	// The metric is the minimum per-boundary-kind ratio (driver.go), which
+	// is a deterministic function of the wire format — int8/bf16 payload
+	// sizes do not depend on tensor content — so it is immune to handoff-
+	// count timing. With the handoff-bearing baselines near 6× the 15%
+	// tolerance floors the gate above 5×; losing the delta path reads ~1×
+	// and trips immediately. The absolute byte counts vary with scripted
+	// handoff/resume timing, so they only note drift.
+	"extra.envelope_shrink_x": {HigherBetter, 0.15},
+	"extra.envelope_bytes":    {Informational, 0},
+	"extra.full_resend_bytes": {Informational, 0},
 }
 
 // perShardCheck resolves "shard_sessions.<i>" keys onto the family-wide

@@ -19,44 +19,54 @@ import "time"
 // resends, the PR 4 single-shard bound).
 // fleetCutAfterDiff returns a download-direction cut offset landing in the
 // middle of the (n+1)-th student diff — deep enough into the stream that a
-// scenario's scripted drain has fired first.
-func fleetCutAfterDiff(n int64) []int64 {
-	helloAck, fullMsg, diffMsg := wireSizes()
+// scenario's scripted drain has fired first. envCodec must match the
+// scenario's Spec.EnvelopeCodec: a delta-encoded handshake checkpoint is a
+// fraction of the raw one, which shifts every downstream offset.
+func fleetCutAfterDiff(n int64, envCodec string) []int64 {
+	helloAck, fullMsg, diffMsg := wireSizes(envCodec)
 	return []int64{helloAck + fullMsg + n*diffMsg + diffMsg/2}
 }
 
 func init() {
 	afterDiff := fleetCutAfterDiff
+	// Every fleet scenario runs the delta-checkpoint wire path: fleets share
+	// one pretrained base across shards and clients by construction, which
+	// is exactly the deployment the base-relative encoding targets.
+	const codec = "delta+int8"
 
 	Register(Scenario{
 		Name: "fleet/uniform",
 		Desc: "64 sessions rendezvous-spread over 4 shard workers",
-		Spec: Spec{Workload: "mixed", Clients: 64, Frames: 24, EvalEvery: 8, Shards: 4},
+		Spec: Spec{Workload: "mixed", Clients: 64, Frames: 24, EvalEvery: 8, Shards: 4,
+			EnvelopeCodec: codec},
 	})
 	Register(Scenario{
 		Name: "fleet/uniform-1shard",
 		Desc: "the 64-session population on one shard: the scaling baseline",
-		Spec: Spec{Workload: "mixed", Clients: 64, Frames: 24, EvalEvery: 8, Shards: 1},
+		Spec: Spec{Workload: "mixed", Clients: 64, Frames: 24, EvalEvery: 8, Shards: 1,
+			EnvelopeCodec: codec},
 	})
 	Register(Scenario{
 		Name: "fleet/skewed-hash",
 		Desc: "12 sessions hash-skewed onto one shard with watermark 4: admission shedding + client backoff",
 		Spec: Spec{Workload: "mixed", Clients: 12, Frames: 60, Shards: 4,
-			HashSkew: true, ShardCapacity: 4},
+			HashSkew: true, ShardCapacity: 4, EnvelopeCodec: codec},
 	})
 	Register(Scenario{
 		Name: "fleet/shard-drain-under-load",
 		Desc: "12 sessions on 4 shards; shard 1 drains mid-run while scripted cuts park sessions",
 		Spec: Spec{Workload: "mixed", Clients: 12, Frames: 72, Shards: 4,
-			ChaosCuts: afterDiff(2), ChaosDownCut: true,
-			DrainShard: 1, DrainAfter: 1200 * time.Millisecond},
+			ChaosCuts: afterDiff(2, codec), ChaosDownCut: true,
+			DrainShard: 1, DrainAfter: 1200 * time.Millisecond,
+			EnvelopeCodec: codec},
 	})
 	Register(Scenario{
 		Name: "fleet/chaos-reconnect-to-other-shard",
 		Desc: "8 sessions homed on shard 0; it drains, then every session cuts and must resume cross-shard via handoff",
 		Spec: Spec{Workload: "mixed", Clients: 8, Frames: 80, Shards: 4,
 			HashSkew:  true,
-			ChaosCuts: afterDiff(4), ChaosDownCut: true,
-			DrainShard: 0, DrainAfter: 1500 * time.Millisecond},
+			ChaosCuts: afterDiff(4, codec), ChaosDownCut: true,
+			DrainShard: 0, DrainAfter: 1500 * time.Millisecond,
+			EnvelopeCodec: codec},
 	})
 }

@@ -48,16 +48,17 @@ func TestFleetChaosRecoversWithoutFullResends(t *testing.T) {
 		t.Skip("end-to-end fleet chaos run")
 	}
 	m, err := Drive("fleet/test-chaos", "fleet", Spec{
-		Workload:     "mixed",
-		Clients:      4,
-		Frames:       60,
-		EvalEvery:    8,
-		Shards:       2,
-		HashSkew:     true,
-		ChaosCuts:    fleetCutAfterDiff(3),
-		ChaosDownCut: true,
-		DrainShard:   0,
-		DrainAfter:   900 * time.Millisecond,
+		Workload:      "mixed",
+		Clients:       4,
+		Frames:        60,
+		EvalEvery:     8,
+		Shards:        2,
+		HashSkew:      true,
+		ChaosCuts:     fleetCutAfterDiff(3, "delta+int8"),
+		ChaosDownCut:  true,
+		DrainShard:    0,
+		DrainAfter:    900 * time.Millisecond,
+		EnvelopeCodec: "delta+int8",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,5 +74,13 @@ func TestFleetChaosRecoversWithoutFullResends(t *testing.T) {
 	}
 	if m.Handoffs+m.Migrated == 0 {
 		t.Logf("note: drain landed after every resume (timing); recoveries stayed on-shard")
+	}
+	// The delta-checkpoint contract: every boundary kind — handshake
+	// checkpoints AND the model-state portion of handoff envelopes — must
+	// shrink ≥5× against the raw encodings (the metric is the minimum of
+	// the per-kind ratios, so the envelope path cannot hide behind the
+	// near-free bit-copy handshakes).
+	if shrink := m.Extra["envelope_shrink_x"]; shrink < 5 {
+		t.Errorf("envelope_shrink_x = %.1f, want ≥5", shrink)
 	}
 }

@@ -81,6 +81,13 @@ type Spec struct {
 	// by the server shards and every client; empty keeps the process
 	// default. The backend/* scenarios sweep it.
 	Backend string
+	// EnvelopeCodec names the compress codec (ByName form, e.g.
+	// "delta+int8") for model state crossing process boundaries: handoff
+	// envelopes go STH2 and MsgStudentFull checkpoints go base-relative for
+	// clients advertising the capability (the driver hands every client the
+	// base). Empty keeps the legacy raw paths, so the paper-comparable
+	// scenarios measure unchanged wire traffic.
+	EnvelopeCodec string
 }
 
 func (s *Spec) setDefaults() {

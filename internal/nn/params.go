@@ -311,6 +311,28 @@ func EncodedSize(params []*Parameter) int {
 	return n
 }
 
+// HashParams returns the FNV-1a hash of the WriteNamed serialization of
+// params — a cheap fingerprint two endpoints compare to prove they hold the
+// same base model before exchanging base-relative deltas. Bit-identical
+// parameter sets (names, shapes, and float bits) hash equal; anything else
+// almost surely does not.
+func HashParams(params []*Parameter) uint64 {
+	h := fnvWriter{h: 14695981039346656037}
+	// WriteNamed cannot fail on an infallible writer.
+	_ = WriteNamed(&h, params)
+	return h.h
+}
+
+type fnvWriter struct{ h uint64 }
+
+func (w *fnvWriter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		w.h ^= uint64(b)
+		w.h *= 1099511628211
+	}
+	return len(p), nil
+}
+
 // TrainableSubset returns the non-frozen parameters of ps (the "updated
 // part" of Algorithm 3's ToClient call under partial distillation).
 func TrainableSubset(ps *ParamSet) []*Parameter {

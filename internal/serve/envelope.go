@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -25,8 +27,16 @@ import (
 // session's old home and imports it on the new one, and a shard drain
 // migrates parked sessions the same way instead of evicting them.
 
-// envelopeMagic versions the envelope wire format.
-var envelopeMagic = [4]byte{'S', 'T', 'H', '1'}
+// envelopeMagic versions the envelope wire format. STH1 carries raw
+// nn.WriteNamed blobs; STH2 runs the student params through a named
+// compress codec (typically delta-encoded against the fabric's shared base
+// checkpoint) and the Adam moments through nil-base delta streams whose
+// inner codecs follow the params codec's exactness (see encodeSessionV2).
+// Decoders accept both.
+var (
+	envelopeMagic   = [4]byte{'S', 'T', 'H', '1'}
+	envelopeMagicV2 = [4]byte{'S', 'T', 'H', '2'}
+)
 
 // Envelope limits: a journal is a small bounded ring and the tensors of
 // one student; anything past these is a corrupt or hostile envelope and
@@ -59,6 +69,58 @@ type SessionEnvelope struct {
 	AdamV  []*nn.Parameter
 
 	Journal []resume.Entry
+
+	// CodecName names the compress codec an STH2 envelope's params blob was
+	// encoded with ("" for STH1, whose blobs decode eagerly). The model
+	// state of an STH2 envelope stays in the deferred blobs below until
+	// Materialize supplies the base checkpoint the codec may be relative to.
+	CodecName string
+
+	paramsBlob []byte
+	mBlob      []byte
+	vBlob      []byte
+}
+
+// Materialize decodes an STH2 envelope's deferred model-state blobs into
+// Params/AdamM/AdamV against base, the importing shard's pretrained
+// checkpoint (every shard of a fabric shares one by construction). It is a
+// no-op for STH1 envelopes and for envelopes already materialized.
+func (env *SessionEnvelope) Materialize(base *nn.ParamSet) error {
+	if env.paramsBlob == nil && env.mBlob == nil && env.vBlob == nil {
+		return nil
+	}
+	c, ok := compress.ByName(env.CodecName)
+	if !ok {
+		return fmt.Errorf("serve: envelope names unknown codec %q", env.CodecName)
+	}
+	c = compress.WithBase(c, base)
+	decode := func(codec compress.Codec, blob []byte, what string) ([]*nn.Parameter, error) {
+		r := bytes.NewReader(blob)
+		params, err := codec.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("serve: envelope %s: %w", what, err)
+		}
+		if r.Len() != 0 {
+			return nil, fmt.Errorf("serve: envelope %s has %d trailing bytes", what, r.Len())
+		}
+		return params, nil
+	}
+	var err error
+	if env.Params, err = decode(c, env.paramsBlob, "student"); err != nil {
+		return err
+	}
+	// Moments are nil-base delta streams; the stream self-describes its
+	// inner codec (raw, int8 or bf16 depending on the sender's envelope
+	// codec), so this decoder instance only supplies the matching nil Base.
+	moments := &compress.Delta{Inner: compress.Raw{}}
+	if env.AdamM, err = decode(moments, env.mBlob, "adam-m"); err != nil {
+		return err
+	}
+	if env.AdamV, err = decode(moments, env.vBlob, "adam-v"); err != nil {
+		return err
+	}
+	env.paramsBlob, env.mBlob, env.vBlob = nil, nil, nil
+	return nil
 }
 
 // errNotExportable reports session state the envelope codec does not
@@ -98,7 +160,10 @@ func writeBlob(buf *bytes.Buffer, params []*nn.Parameter) error {
 	return nil
 }
 
-func readBlob(r *bytes.Reader, what string) ([]*nn.Parameter, error) {
+// readRawBlob reads one u32-length-prefixed blob, bounds-checked against
+// both the blob cap and the bytes actually remaining. io.ReadFull (not a
+// bare Read) so a short read can never yield a silently truncated blob.
+func readRawBlob(r *bytes.Reader, what string) ([]byte, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, fmt.Errorf("serve: envelope %s length: %w", what, err)
@@ -107,8 +172,16 @@ func readBlob(r *bytes.Reader, what string) ([]*nn.Parameter, error) {
 		return nil, fmt.Errorf("serve: envelope %s claims %d bytes, %d remain", what, n, r.Len())
 	}
 	blob := make([]byte, n)
-	if _, err := r.Read(blob); err != nil {
+	if _, err := io.ReadFull(r, blob); err != nil {
 		return nil, fmt.Errorf("serve: envelope %s body: %w", what, err)
+	}
+	return blob, nil
+}
+
+func readBlob(r *bytes.Reader, what string) ([]*nn.Parameter, error) {
+	blob, err := readRawBlob(r, what)
+	if err != nil {
+		return nil, err
 	}
 	br := bytes.NewReader(blob)
 	params, err := nn.ReadNamed(br)
@@ -121,29 +194,57 @@ func readBlob(r *bytes.Reader, what string) ([]*nn.Parameter, error) {
 	return params, nil
 }
 
-// EncodeSession serialises a parked session (whose State must be the
-// *core.Server this package parks) into a self-contained handoff envelope.
-func EncodeSession(ds *resume.Session) ([]byte, error) {
+// exportableState extracts the server and Adam state an envelope carries.
+func exportableState(ds *resume.Session) (*core.Server, *optim.Adam, error) {
 	srv, ok := ds.State.(*core.Server)
 	if !ok {
-		return nil, errNotExportable
+		return nil, nil, errNotExportable
 	}
 	adam, ok := srv.Distiller.Opt.(*optim.Adam)
 	if !ok {
-		return nil, fmt.Errorf("serve: session %d optimizer %T is not handoff-serializable", ds.ID, srv.Distiller.Opt)
+		return nil, nil, fmt.Errorf("serve: session %d optimizer %T is not handoff-serializable", ds.ID, srv.Distiller.Opt)
 	}
-	step, mm, vv := adam.ExportState()
+	return srv, adam, nil
+}
 
-	var buf bytes.Buffer
-	buf.Write(envelopeMagic[:])
+func writeEnvelopeHeader(buf *bytes.Buffer, ds *resume.Session, srv *core.Server, step int) {
 	for _, u := range []uint64{
 		ds.ID, ds.Epoch, ds.AltEpoch, ds.LastSeq,
 		srv.DiffSeq, srv.LastKFSeq,
 		uint64(step), uint64(srv.Distiller.TotalSteps), uint64(srv.Distiller.TotalTrains),
 		uint64(srv.Distiller.TotalStepTime),
 	} {
-		binary.Write(&buf, binary.LittleEndian, u)
+		binary.Write(buf, binary.LittleEndian, u)
 	}
+}
+
+func writeJournal(buf *bytes.Buffer, ds *resume.Session) {
+	var entries []resume.Entry
+	if ds.Journal != nil {
+		entries = ds.Journal.All()
+	}
+	binary.Write(buf, binary.LittleEndian, uint32(len(entries)))
+	for _, e := range entries {
+		binary.Write(buf, binary.LittleEndian, e.Seq)
+		binary.Write(buf, binary.LittleEndian, uint32(len(e.Body)))
+		buf.Write(e.Body)
+	}
+}
+
+// EncodeSession serialises a parked session (whose State must be the
+// *core.Server this package parks) into a self-contained STH1 handoff
+// envelope with raw model-state blobs. ExportParked switches to the
+// codec-compressed STH2 format when Options.EnvelopeCodec is set.
+func EncodeSession(ds *resume.Session) ([]byte, error) {
+	srv, adam, err := exportableState(ds)
+	if err != nil {
+		return nil, err
+	}
+	step, mm, vv := adam.ExportState()
+
+	var buf bytes.Buffer
+	buf.Write(envelopeMagic[:])
+	writeEnvelopeHeader(&buf, ds, srv, step)
 	if err := writeBlob(&buf, srv.Distiller.Student.Params.All()); err != nil {
 		return nil, err
 	}
@@ -153,17 +254,68 @@ func EncodeSession(ds *resume.Session) ([]byte, error) {
 	if err := writeBlob(&buf, momentsToParams(vv)); err != nil {
 		return nil, err
 	}
-	var entries []resume.Entry
-	if ds.Journal != nil {
-		entries = ds.Journal.All()
-	}
-	binary.Write(&buf, binary.LittleEndian, uint32(len(entries)))
-	for _, e := range entries {
-		binary.Write(&buf, binary.LittleEndian, e.Seq)
-		binary.Write(&buf, binary.LittleEndian, uint32(len(e.Body)))
-		buf.Write(e.Body)
-	}
+	writeJournal(&buf, ds)
 	return buf.Bytes(), nil
+}
+
+// encodeSessionV2 serialises a parked session in the STH2 format: student
+// params through codec (delta-encoded against the shared base when codec
+// is a delta), Adam moments through nil-base delta streams, and the journal
+// verbatim. The moments' inner codecs follow the params codec's exactness:
+// under an exact inner everything stays bit-identical (the acceptance
+// contract for delta+raw); under a lossy inner the first moment rides the
+// same inner as the params — m is linear in the update and re-accumulates
+// within ~1/(1−β₁) ≈ 10 steps, so it tolerates the params' quantizer — but
+// the second moment always rides bf16, whose intact exponent never flushes
+// a small v to zero (an int8 scale would, inflating the resumed session's
+// steps by ~1/ε until β₂ decay rebuilds the moment ~1000 steps later).
+// Alongside the envelope it returns the model-state byte count and the
+// raw-blob baseline those bytes replaced, for shrink accounting.
+func encodeSessionV2(ds *resume.Session, codec compress.Codec) (env []byte, ckBytes, ckBaseline int, err error) {
+	srv, adam, err := exportableState(ds)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	step, mm, vv := adam.ExportState()
+
+	name := codec.Name()
+	if len(name) > 255 {
+		return nil, 0, 0, fmt.Errorf("serve: envelope codec name %q too long", name)
+	}
+	var buf bytes.Buffer
+	buf.Write(envelopeMagicV2[:])
+	writeEnvelopeHeader(&buf, ds, srv, step)
+	buf.WriteByte(byte(len(name)))
+	buf.WriteString(name)
+
+	inner := compress.Codec(codec)
+	if d, isDelta := codec.(*compress.Delta); isDelta {
+		inner = d.Inner
+	}
+	vInner := inner
+	if _, isRaw := inner.(compress.Raw); !isRaw {
+		vInner = compress.Bf16{}
+	}
+	blobs := []struct {
+		c  compress.Codec
+		ps []*nn.Parameter
+	}{
+		{codec, srv.Distiller.Student.Params.All()},
+		{&compress.Delta{Inner: inner}, momentsToParams(mm)},
+		{&compress.Delta{Inner: vInner}, momentsToParams(vv)},
+	}
+	for _, b := range blobs {
+		var blob bytes.Buffer
+		if err := b.c.Encode(&blob, b.ps); err != nil {
+			return nil, 0, 0, err
+		}
+		binary.Write(&buf, binary.LittleEndian, uint32(blob.Len()))
+		buf.Write(blob.Bytes())
+		ckBytes += blob.Len()
+		ckBaseline += nn.EncodedSize(b.ps)
+	}
+	writeJournal(&buf, ds)
+	return buf.Bytes(), ckBytes, ckBaseline, nil
 }
 
 // DecodeSessionEnvelope parses a handoff envelope. It validates framing,
@@ -173,7 +325,7 @@ func EncodeSession(ds *resume.Session) ([]byte, error) {
 func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
 	r := bytes.NewReader(b)
 	var magic [4]byte
-	if _, err := r.Read(magic[:]); err != nil || magic != envelopeMagic {
+	if _, err := io.ReadFull(r, magic[:]); err != nil || (magic != envelopeMagic && magic != envelopeMagicV2) {
 		return nil, fmt.Errorf("serve: bad envelope magic %q", magic[:])
 	}
 	var env SessionEnvelope
@@ -188,10 +340,11 @@ func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
 		}
 	}
 	// The counters are small non-negative ints in practice; reject values
-	// that would overflow int so downstream arithmetic stays sane.
+	// that would overflow int (or a sane time.Duration — 1<<48 ns is over
+	// three days of pure step time) so downstream arithmetic stays sane.
 	const maxCounter = 1 << 48
-	if step > maxCounter || totalSteps > maxCounter || totalTrains > maxCounter {
-		return nil, fmt.Errorf("serve: envelope implausible counters (%d, %d, %d)", step, totalSteps, totalTrains)
+	if step > maxCounter || totalSteps > maxCounter || totalTrains > maxCounter || stepTime > maxCounter {
+		return nil, fmt.Errorf("serve: envelope implausible counters (%d, %d, %d, %d)", step, totalSteps, totalTrains, stepTime)
 	}
 	env.AdamStep = int(step)
 	env.TotalSteps = int(totalSteps)
@@ -199,14 +352,39 @@ func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
 	env.TotalStepTime = time.Duration(stepTime)
 
 	var err error
-	if env.Params, err = readBlob(r, "student"); err != nil {
-		return nil, err
-	}
-	if env.AdamM, err = readBlob(r, "adam-m"); err != nil {
-		return nil, err
-	}
-	if env.AdamV, err = readBlob(r, "adam-v"); err != nil {
-		return nil, err
+	if magic == envelopeMagicV2 {
+		// STH2: model state stays in opaque codec blobs until Materialize.
+		nameLen, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("serve: envelope codec name length: %w", err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("serve: envelope codec name: %w", err)
+		}
+		env.CodecName = string(name)
+		if _, ok := compress.ByName(env.CodecName); !ok {
+			return nil, fmt.Errorf("serve: envelope names unknown codec %q", env.CodecName)
+		}
+		if env.paramsBlob, err = readRawBlob(r, "student"); err != nil {
+			return nil, err
+		}
+		if env.mBlob, err = readRawBlob(r, "adam-m"); err != nil {
+			return nil, err
+		}
+		if env.vBlob, err = readRawBlob(r, "adam-v"); err != nil {
+			return nil, err
+		}
+	} else {
+		if env.Params, err = readBlob(r, "student"); err != nil {
+			return nil, err
+		}
+		if env.AdamM, err = readBlob(r, "adam-m"); err != nil {
+			return nil, err
+		}
+		if env.AdamV, err = readBlob(r, "adam-v"); err != nil {
+			return nil, err
+		}
 	}
 
 	var count uint32
@@ -234,7 +412,7 @@ func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
 			return nil, fmt.Errorf("serve: envelope journal body claims %d bytes, %d remain", n, r.Len())
 		}
 		body := make([]byte, n)
-		if _, err := r.Read(body); err != nil && n > 0 {
+		if _, err := io.ReadFull(r, body); err != nil {
 			return nil, fmt.Errorf("serve: envelope journal body: %w", err)
 		}
 		env.Journal = append(env.Journal, resume.Entry{Seq: seq, Body: body})
@@ -262,13 +440,22 @@ func (m *Manager) ExportParked(id uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	env, err := EncodeSession(ds)
+	var env []byte
+	var ck, ckBase int
+	if m.envCodec != nil {
+		env, ck, ckBase, err = encodeSessionV2(ds, m.envCodec)
+	} else {
+		// Legacy STH1: no model-state shrink to account (the ck counters
+		// stay 0 — the EnvelopeCk* stats only populate on the STH2 path).
+		env, err = EncodeSession(ds)
+	}
 	if err != nil {
 		m.store.Put(ds)
 		return nil, err
 	}
-	m.logf("session %d exported for handoff (epoch %d, %d journaled diffs)",
-		ds.ID, ds.Epoch, ds.Journal.Len())
+	m.countEnvelope(len(env), ck, ckBase)
+	m.logf("session %d exported for handoff (epoch %d, %d journaled diffs, %d bytes)",
+		ds.ID, ds.Epoch, ds.Journal.Len(), len(env))
 	return env, nil
 }
 
@@ -288,9 +475,14 @@ func (m *Manager) ImportParked(envBytes []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := env.Materialize(m.opts.Base.Params); err != nil {
+		return err
+	}
 
 	srv := core.NewServer(m.opts.Cfg, m.opts.Base.Clone(), m.batcher)
 	srv.EncodeDiff = m.opts.EncodeDiff
+	srv.Checkpoint = m.ck
+	srv.OnCheckpoint = m.countCheckpoint
 	if err := nn.ApplyNamed(srv.Distiller.Student.Params, env.Params); err != nil {
 		return fmt.Errorf("serve: envelope student mismatch: %w", err)
 	}

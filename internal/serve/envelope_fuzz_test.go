@@ -3,6 +3,7 @@ package serve
 import (
 	"testing"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/resume"
 	"repro/internal/teacher"
@@ -24,6 +25,24 @@ func seedEnvelope() []byte {
 	return env
 }
 
+// seedEnvelopeV2 is seedEnvelope in the STH2 format, delta-encoded against
+// the student itself (so the fuzzer starts from real codec framing too).
+func seedEnvelopeV2() []byte {
+	cfg := core.DefaultConfig()
+	base := tinyStudent(41)
+	srv := core.NewServer(cfg, base.Clone(), teacher.NewOracle(7))
+	srv.DiffSeq, srv.LastKFSeq = 3, 3
+	j := resume.NewJournal(4)
+	j.Append(2, []byte{1, 2, 3})
+	j.Append(3, []byte{4, 5})
+	codec := compress.WithBase(&compress.Delta{Inner: compress.Int8{}}, base.Params)
+	env, _, _, err := encodeSessionV2(&resume.Session{ID: 7, Epoch: 2, AltEpoch: 1, LastSeq: 3, State: srv, Journal: j}, codec)
+	if err != nil {
+		return nil
+	}
+	return env
+}
+
 // FuzzDecodeSessionEnvelope hammers the handoff envelope decoder: it must
 // never panic or force a giant allocation on corrupt input (a hardened
 // boundary even though envelopes travel router-internal today), and any
@@ -34,14 +53,22 @@ func FuzzDecodeSessionEnvelope(f *testing.F) {
 	if env := seedEnvelope(); env != nil {
 		f.Add(env)
 	}
+	if env := seedEnvelopeV2(); env != nil {
+		f.Add(env)
+	}
 	f.Add([]byte("STH1"))
+	f.Add([]byte("STH2"))
 	f.Add([]byte{})
 
+	base := tinyStudent(41).Params
 	f.Fuzz(func(t *testing.T, b []byte) {
 		dec, err := DecodeSessionEnvelope(b)
 		if err != nil {
 			return
 		}
+		// Materializing an accepted envelope against a base must never
+		// panic or allocate unboundedly, however hostile the codec blobs.
+		_ = dec.Materialize(base)
 		var last uint64
 		for _, e := range dec.Journal {
 			if e.Seq <= last {

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/resume"
@@ -89,6 +90,14 @@ type Options struct {
 	// so outgoing student diffs are encoded with a custom codec (see
 	// core.Server.EncodeDiff and internal/harness).
 	EncodeDiff func(transport.StudentDiff) ([]byte, error)
+	// EnvelopeCodec, when non-empty, names the compress codec (ByName form,
+	// e.g. "delta+int8") applied to model state crossing process
+	// boundaries: session-handoff envelopes switch to the STH2 format with
+	// codec-encoded student params, and MsgStudentFull checkpoints are
+	// delta-encoded against Base for clients that negotiated
+	// CapDeltaCheckpoint. Adam moments always travel bit-exact regardless
+	// (see envelope.go). Empty keeps the legacy STH1/raw paths.
+	EnvelopeCodec string
 	// Logf, when non-nil, receives session lifecycle lines.
 	Logf func(format string, v ...any)
 }
@@ -117,6 +126,18 @@ type Stats struct {
 	ResumeReplays int64 // resumes served from the diff journal
 	ResumeFulls   int64 // resumes that fell back to a full checkpoint
 	Evicted       int64 // parked sessions dropped by TTL/capacity/shutdown
+
+	// Byte accounting for model state crossing process boundaries. Each
+	// *Bytes counter records what was actually sent; its *Baseline twin
+	// records what the legacy raw encoding would have cost, so
+	// baseline/actual is the wire shrink factor (1x on the legacy paths).
+	CheckpointBytes    int64 // MsgStudentFull bodies sent at handshake
+	CheckpointBaseline int64
+	FullResendBytes    int64 // MsgStudentFull bodies sent by resume-full fallback
+	FullResendBaseline int64
+	EnvelopeBytes      int64 // whole session-handoff envelopes (incl. journal)
+	EnvelopeCkBytes    int64 // model-state portion of those envelopes
+	EnvelopeCkBaseline int64
 }
 
 // MeanDistillSteps is the mean number of optimisation steps per key frame
@@ -160,6 +181,13 @@ func (s Stats) Add(o Stats) Stats {
 	s.ResumeReplays += o.ResumeReplays
 	s.ResumeFulls += o.ResumeFulls
 	s.Evicted += o.Evicted
+	s.CheckpointBytes += o.CheckpointBytes
+	s.CheckpointBaseline += o.CheckpointBaseline
+	s.FullResendBytes += o.FullResendBytes
+	s.FullResendBaseline += o.FullResendBaseline
+	s.EnvelopeBytes += o.EnvelopeBytes
+	s.EnvelopeCkBytes += o.EnvelopeCkBytes
+	s.EnvelopeCkBaseline += o.EnvelopeCkBaseline
 	return s
 }
 
@@ -175,13 +203,15 @@ type session struct {
 // distillers, the shared batched teacher, the resume store, and aggregate
 // statistics.
 type Manager struct {
-	opts    Options
-	batcher *teacher.Batcher
-	store   *resume.Store // nil when resumption is disabled
-	slots   chan struct{}
-	quit    chan struct{}
-	once    sync.Once
-	wg      sync.WaitGroup
+	opts     Options
+	batcher  *teacher.Batcher
+	store    *resume.Store         // nil when resumption is disabled
+	envCodec compress.Codec        // envelope params codec (nil = legacy STH1)
+	ck       *core.CheckpointCodec // delta checkpoint codec (nil = always raw)
+	slots    chan struct{}
+	quit     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
 
 	mu            sync.Mutex
 	closed        bool
@@ -195,6 +225,13 @@ type Manager struct {
 	resumed       int64
 	resumeReplays int64
 	resumeFulls   int64
+	ckBytes       int64
+	ckBaseline    int64
+	fullBytes     int64
+	fullBaseline  int64
+	envBytes      int64
+	envCkBytes    int64
+	envCkBaseline int64
 	listeners     []*transport.Listener
 }
 
@@ -248,14 +285,32 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.IDStride == 0 {
 		opts.IDStride = 1
 	}
+	var envCodec compress.Codec
+	var ck *core.CheckpointCodec
+	if opts.EnvelopeCodec != "" {
+		c, ok := compress.ByName(opts.EnvelopeCodec)
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown envelope codec %q", opts.EnvelopeCodec)
+		}
+		envCodec = compress.WithBase(c, opts.Base.Params)
+		// MsgStudentFull checkpoints are always delta-framed for capable
+		// clients; a non-delta envelope codec becomes the delta's inner.
+		inner := envCodec
+		if d, isDelta := envCodec.(*compress.Delta); isDelta {
+			inner = d.Inner
+		}
+		ck = &core.CheckpointCodec{Base: opts.Base.Params, Codec: inner}
+	}
 	m := &Manager{
-		opts:    opts,
-		batcher: b,
-		slots:   make(chan struct{}, opts.MaxSessions),
-		quit:    make(chan struct{}),
-		active:  map[uint64]*session{},
-		conns:   map[transport.Conn]struct{}{},
-		nextID:  opts.IDOffset,
+		opts:     opts,
+		batcher:  b,
+		envCodec: envCodec,
+		ck:       ck,
+		slots:    make(chan struct{}, opts.MaxSessions),
+		quit:     make(chan struct{}),
+		active:   map[uint64]*session{},
+		conns:    map[transport.Conn]struct{}{},
+		nextID:   opts.IDOffset,
 	}
 	if opts.ResumeTTL > 0 {
 		m.store = resume.NewStore(resume.Options{
@@ -337,6 +392,8 @@ func (m *Manager) handleFresh(conn transport.Conn, first transport.Message) erro
 	// distiller and optimizer; the teacher is the shared batched queue.
 	srv := core.NewServer(m.opts.Cfg, m.opts.Base.Clone(), m.batcher)
 	srv.EncodeDiff = m.opts.EncodeDiff
+	srv.Checkpoint = m.ck
+	srv.OnCheckpoint = m.countCheckpoint
 	journal := resume.NewJournal(m.opts.JournalDepth)
 	srv.OnDiff = journal.Append
 	var id, epoch uint64
@@ -415,11 +472,21 @@ func (m *Manager) handleResume(conn transport.Conn, first transport.Message) err
 		m.logf("session %d resumed at epoch %d: replayed %d of %d journaled diffs",
 			sess.id, sess.epoch, len(entries), sess.journal.Len())
 	} else {
-		full, err := encodeParams(srv.Distiller.Student.Params.All())
+		// Resume requests carry the same capability bits as Hello, so the
+		// full-resend fallback — the dominant checkpoint cost under churn —
+		// goes base-relative whenever the client proved it holds the base.
+		all := srv.Distiller.Student.Params.All()
+		var full []byte
+		if m.ck.Match(req.Caps, req.BaseHash) {
+			full, err = m.ck.EncodeBody(all)
+		} else {
+			full, err = encodeParams(all)
+		}
 		if err != nil {
 			m.unregister(sess.id)
 			return err
 		}
+		m.countFullResend(len(full), nn.EncodedSize(all))
 		if err := conn.Send(transport.Message{Type: transport.MsgStudentFull, Body: full}); err != nil {
 			return m.redetach(sess, err)
 		}
@@ -505,6 +572,30 @@ func (m *Manager) countResume(replay bool) {
 	} else {
 		m.resumeFulls++
 	}
+	m.mu.Unlock()
+}
+
+// countCheckpoint is installed as core.Server.OnCheckpoint: it records the
+// bytes of each handshake MsgStudentFull body against the raw baseline.
+func (m *Manager) countCheckpoint(actual, baseline int) {
+	m.mu.Lock()
+	m.ckBytes += int64(actual)
+	m.ckBaseline += int64(baseline)
+	m.mu.Unlock()
+}
+
+func (m *Manager) countFullResend(actual, baseline int) {
+	m.mu.Lock()
+	m.fullBytes += int64(actual)
+	m.fullBaseline += int64(baseline)
+	m.mu.Unlock()
+}
+
+func (m *Manager) countEnvelope(total, ck, ckBaseline int) {
+	m.mu.Lock()
+	m.envBytes += int64(total)
+	m.envCkBytes += int64(ck)
+	m.envCkBaseline += int64(ckBaseline)
 	m.mu.Unlock()
 }
 
@@ -727,15 +818,22 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
-		SessionsServed: m.served,
-		Active:         len(m.active),
-		KeyFrames:      m.keyFrames,
-		DistillSteps:   m.distillSteps,
-		DistillTime:    m.distillTime,
-		Teacher:        m.batcher.Stats(),
-		Resumed:        m.resumed,
-		ResumeReplays:  m.resumeReplays,
-		ResumeFulls:    m.resumeFulls,
+		SessionsServed:     m.served,
+		Active:             len(m.active),
+		KeyFrames:          m.keyFrames,
+		DistillSteps:       m.distillSteps,
+		DistillTime:        m.distillTime,
+		Teacher:            m.batcher.Stats(),
+		Resumed:            m.resumed,
+		ResumeReplays:      m.resumeReplays,
+		ResumeFulls:        m.resumeFulls,
+		CheckpointBytes:    m.ckBytes,
+		CheckpointBaseline: m.ckBaseline,
+		FullResendBytes:    m.fullBytes,
+		FullResendBaseline: m.fullBaseline,
+		EnvelopeBytes:      m.envBytes,
+		EnvelopeCkBytes:    m.envCkBytes,
+		EnvelopeCkBaseline: m.envCkBaseline,
 	}
 	if m.store != nil {
 		st.Detached = m.store.Len()

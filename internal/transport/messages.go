@@ -87,7 +87,22 @@ type Hello struct {
 	// Resume so stale reconnects (from before an earlier resume) are
 	// rejected instead of silently forking the session.
 	Epoch uint64
+	// Caps is the capability bitmask (CapDeltaCheckpoint, ...). It rides
+	// as a trailing field so peers that predate it — which leave it zero,
+	// i.e. no optional capabilities — interoperate without a version bump.
+	Caps uint64
+	// BaseHash is nn.HashParams of the pretrained base the sender holds;
+	// meaningful only with CapDeltaCheckpoint set. The server sends
+	// base-relative checkpoints only on an exact match.
+	BaseHash uint64
 }
+
+// Capability bits for Hello.Caps / Resume.Caps.
+const (
+	// CapDeltaCheckpoint: the client can decode base-relative delta
+	// checkpoints (core.DecodeCheckpointBody) and presents its base hash.
+	CapDeltaCheckpoint uint64 = 1 << 0
+)
 
 // Version is the current protocol version. Version 2 added the SessionID
 // field and the server's Hello acknowledgement carrying the assigned ID.
@@ -141,6 +156,8 @@ func EncodeHello(h Hello) []byte {
 	buf.WriteByte(p)
 	binary.Write(&buf, binary.LittleEndian, h.SessionID)
 	binary.Write(&buf, binary.LittleEndian, h.Epoch)
+	binary.Write(&buf, binary.LittleEndian, h.Caps)
+	binary.Write(&buf, binary.LittleEndian, h.BaseHash)
 	return buf.Bytes()
 }
 
@@ -173,6 +190,16 @@ func DecodeHello(b []byte) (Hello, error) {
 	if r.Len() >= 8 {
 		if err := binary.Read(r, binary.LittleEndian, &h.Epoch); err != nil {
 			return h, fmt.Errorf("transport: hello epoch: %w", err)
+		}
+	}
+	if r.Len() >= 8 {
+		if err := binary.Read(r, binary.LittleEndian, &h.Caps); err != nil {
+			return h, fmt.Errorf("transport: hello caps: %w", err)
+		}
+	}
+	if r.Len() >= 8 {
+		if err := binary.Read(r, binary.LittleEndian, &h.BaseHash); err != nil {
+			return h, fmt.Errorf("transport: hello base hash: %w", err)
 		}
 	}
 	return h, nil
@@ -345,12 +372,20 @@ type Resume struct {
 	SessionID   uint64
 	Epoch       uint64
 	LastDiffSeq uint64
+	// Caps and BaseHash mirror the Hello trailing fields, so the server
+	// can decide on a delta-encoded full fallback for this reconnect too.
+	Caps     uint64
+	BaseHash uint64
 }
 
-// resumeWireBytes is the exact encoded size of a Resume body. The decoder
-// requires it exactly: a truncated or padded Resume is a protocol error
-// that must fail only the offending connection.
-const resumeWireBytes = 24
+// The two legal encoded sizes of a Resume body: the legacy 3-field form and
+// the capability-carrying 5-field form. The decoder requires one of them
+// exactly: a truncated or padded Resume is a protocol error that must fail
+// only the offending connection.
+const (
+	resumeWireBytes     = 24
+	resumeWireBytesCaps = 40
+)
 
 // EncodeResume serialises a Resume body.
 func EncodeResume(r Resume) []byte {
@@ -358,18 +393,25 @@ func EncodeResume(r Resume) []byte {
 	binary.Write(&buf, binary.LittleEndian, r.SessionID)
 	binary.Write(&buf, binary.LittleEndian, r.Epoch)
 	binary.Write(&buf, binary.LittleEndian, r.LastDiffSeq)
+	binary.Write(&buf, binary.LittleEndian, r.Caps)
+	binary.Write(&buf, binary.LittleEndian, r.BaseHash)
 	return buf.Bytes()
 }
 
-// DecodeResume parses a Resume body.
+// DecodeResume parses a Resume body, accepting the legacy capability-less
+// length (Caps and BaseHash stay zero: no optional capabilities).
 func DecodeResume(b []byte) (Resume, error) {
 	var r Resume
-	if len(b) != resumeWireBytes {
-		return r, fmt.Errorf("transport: resume body is %d bytes, want %d", len(b), resumeWireBytes)
+	if len(b) != resumeWireBytes && len(b) != resumeWireBytesCaps {
+		return r, fmt.Errorf("transport: resume body is %d bytes, want %d or %d", len(b), resumeWireBytes, resumeWireBytesCaps)
 	}
 	r.SessionID = binary.LittleEndian.Uint64(b[0:])
 	r.Epoch = binary.LittleEndian.Uint64(b[8:])
 	r.LastDiffSeq = binary.LittleEndian.Uint64(b[16:])
+	if len(b) == resumeWireBytesCaps {
+		r.Caps = binary.LittleEndian.Uint64(b[24:])
+		r.BaseHash = binary.LittleEndian.Uint64(b[32:])
+	}
 	return r, nil
 }
 
