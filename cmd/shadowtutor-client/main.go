@@ -44,6 +44,11 @@ func main() {
 		backoff   = flag.Duration("reconnect-backoff", 100*time.Millisecond, "initial redial backoff (doubles per attempt, capped at 1s)")
 		attempts  = flag.Int("reconnect-attempts", 8, "redial attempts per outage before giving up")
 		deltaCk   = flag.Bool("delta-checkpoints", false, "pre-train the shared base locally and advertise base-relative checkpoints (the server falls back to raw when its base differs)")
+		lossModel = flag.String("loss-model", "", "simulate packet loss on the uplink (netsim spec, e.g. \"uniform:0.02\"; empty = plain byte stream). Must match the server's packet framing (-loss-model there)")
+		fec       = flag.Int("fec", 0, "XOR-parity FEC group size for the packet layer (0 = no FEC)")
+		reorder   = flag.Float64("reorder", 0, "per-packet reorder probability for the packet layer")
+		lossSeed  = flag.Int64("loss-seed", 2, "seed for the packet layer's loss/reorder draws")
+		adaptive  = flag.Bool("adaptive", false, "decode adaptive link-policy envelopes (required against a server running -adaptive)")
 	)
 	flag.Parse()
 
@@ -56,8 +61,26 @@ func main() {
 		log.Fatal(err)
 	}
 
+	usePackets := *lossModel != "" || *fec > 0 || *reorder > 0
+	attempt := 0
 	dial := func() (transport.Conn, error) {
-		return transport.Dial(*connect, netsim.Mbps(*bandwidth), nil)
+		if !usePackets {
+			return transport.Dial(*connect, netsim.Mbps(*bandwidth), nil)
+		}
+		// Each (re)dial gets its own seeded loss model: models carry state
+		// and the per-attempt salt keeps redials independent while the whole
+		// run stays reproducible under -loss-seed.
+		seed := *lossSeed + int64(attempt)*101
+		attempt++
+		loss, err := netsim.LossModelByName(*lossModel, seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		popts := netsim.PacketOptions{FECGroup: *fec, Loss: loss}
+		if *reorder > 0 {
+			popts.Impair = &netsim.Impairment{Seed: seed ^ 0x5eed, ReorderProb: *reorder}
+		}
+		return transport.DialImpaired(*connect, netsim.Mbps(*bandwidth), nil, popts, nil)
 	}
 	conn, err := dial()
 	if err != nil {
@@ -69,6 +92,7 @@ func main() {
 		Cfg:       core.DefaultConfig(),
 		Student:   nn.NewStudentForWire(),
 		SessionID: *session,
+		Adaptive:  *adaptive,
 	}
 	if *reconnect {
 		client.Dial = dial
@@ -100,6 +124,15 @@ func main() {
 	if r.Reconnects > 0 {
 		log.Printf("resilience: %d reconnects (%d journal replays, %d full resends), %d frames on stale weights",
 			r.Reconnects, r.ResumeReplays, r.FullResends, r.StaleFrames)
+	}
+	if usePackets {
+		// The first connection's uplink counters (reconnects open new conns
+		// with their own counters; the common lossy-link run has just one).
+		if lo, ok := conn.(netsim.LinkObserver); ok {
+			obs := lo.LinkObservation()
+			log.Printf("uplink packets: %d sent, %d lost (%.2f%% EWMA loss), %d FEC-recovered, %d retransmits, %.2f Mbps goodput",
+				obs.PacketsSent, obs.PacketsLost, 100*obs.LossRate, obs.Recovered, obs.Retransmits, obs.GoodputMbps)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -45,6 +46,11 @@ func main() {
 		journal     = flag.Int("journal-depth", 8, "recent student diffs journaled per session for resume replay")
 		backend     = flag.String("backend", "", "tensor compute backend for every shard's kernels (default: process default; e.g. \"vec\", \"reference\")")
 		envCodec    = flag.String("envelope-codec", "", "compress codec for checkpoints and handoff envelopes, e.g. \"delta+int8\" (empty = legacy raw wire format)")
+		lossModel   = flag.String("loss-model", "", "simulate packet loss on every accepted connection (netsim spec, e.g. \"uniform:0.02\" or \"ge:0.02,0.25,0.002,0.5\"; empty = plain byte stream). Clients must run the same packet framing (their -loss-model flag)")
+		fec         = flag.Int("fec", 0, "XOR-parity FEC group size for the packet layer (0 = no FEC)")
+		reorder     = flag.Float64("reorder", 0, "per-packet reorder probability for the packet layer")
+		lossSeed    = flag.Int64("loss-seed", 1, "seed for the packet layer's loss/reorder draws")
+		adaptive    = flag.Bool("adaptive", false, "run the adaptive link policy: watch each session's measured loss/goodput and switch diff codec, stride scale and FEC at runtime (clients must pass -adaptive)")
 	)
 	flag.Parse()
 
@@ -69,7 +75,7 @@ func main() {
 		student.Params.NumParams(), student.Params.TrainableFraction()*100)
 
 	shardOptions := func(i int) serve.Options {
-		return serve.Options{
+		o := serve.Options{
 			Cfg:  cfg,
 			Base: student,
 			// One teacher replica per shard: teachers serialise behind
@@ -86,11 +92,36 @@ func main() {
 			EnvelopeCodec: *envCodec,
 			Logf:          log.Printf,
 		}
+		if *adaptive {
+			o.LinkPolicy = "adaptive"
+		}
+		return o
 	}
 
 	ln, err := transport.Listen(*listen, netsim.Mbps(*bandwidth), nil)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *lossModel != "" || *fec > 0 || *reorder > 0 {
+		// Packet layer on the server→client direction: every accepted
+		// connection gets its own deterministically-seeded loss model
+		// (models carry state and must not be shared across conns).
+		if _, err := netsim.LossModelByName(*lossModel, *lossSeed, nil); err != nil {
+			log.Fatal(err)
+		}
+		var connSeq atomic.Int64
+		ln.SetPacketWrap(func() *netsim.PacketOptions {
+			seed := *lossSeed + connSeq.Add(1)*977
+			loss, err := netsim.LossModelByName(*lossModel, seed, nil)
+			if err != nil {
+				return nil
+			}
+			popts := &netsim.PacketOptions{FECGroup: *fec, Loss: loss}
+			if *reorder > 0 {
+				popts.Impair = &netsim.Impairment{Seed: seed ^ 0x5eed, ReorderProb: *reorder}
+			}
+			return popts
+		})
 	}
 
 	// SIGINT/SIGTERM stop the accept loop and drain active sessions.

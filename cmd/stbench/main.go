@@ -55,6 +55,7 @@ func main() {
 		multi      = flag.Int("multiclient", 0, "run the multi-session scaling scenario with this many concurrent clients (compared against 1)")
 		pretrain   = flag.Int("pretrain", 0, "override pre-training steps (0 = default)")
 		list       = flag.Bool("list", false, "list registered harness scenarios and exit")
+		catalog    = flag.Bool("catalog", false, "regenerate docs/SCENARIOS.md from the scenario registry and exit")
 		scenario   = flag.String("scenario", "", "run registered scenarios matching this comma-separated list of names/globs (e.g. 'bandwidth-sweep/*')")
 		jsonOut    = flag.String("json", "", "with -scenario: write machine-readable metrics JSON to this path")
 		backend    = flag.String("backend", "", "tensor compute backend for every run (default: process default; see tensor.Backends)")
@@ -73,6 +74,10 @@ func main() {
 	}
 	if *list {
 		listScenarios()
+		return
+	}
+	if *catalog {
+		writeCatalog()
 		return
 	}
 	if *scenario != "" {
@@ -185,6 +190,28 @@ func listScenarios() {
 		t.AddRow(s.Name, clients, frames, spec.BandwidthLabel(), spec.CodecLabel(), s.Desc)
 	}
 	fmt.Println(t)
+}
+
+// writeCatalog regenerates docs/SCENARIOS.md from the live registry and the
+// live CI smoke matrix; TestScenarioCatalogInSync holds the file to this
+// output. Must run from the repo root (where docs/ and scripts/ live).
+func writeCatalog() {
+	globs, err := harness.BenchSmokeGlobs("scripts/bench_smoke.sh")
+	if err != nil {
+		log.Fatalf("reading CI smoke matrix (run from the repo root): %v", err)
+	}
+	md, err := harness.CatalogMarkdown(globs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const path = "docs/SCENARIOS.md"
+	if err := os.MkdirAll("docs", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d scenarios)", path, len(harness.All()))
 }
 
 // resolve expands a comma-separated pattern list into a deduplicated,

@@ -59,6 +59,20 @@
 // See ARCHITECTURE.md "Delta checkpoints & envelope v2" for the wire
 // formats and what may and may not travel lossily.
 //
+// The link itself can be made realistically unreliable: -loss-model
+// activates a packet layer (MTU framing over the TCP stream) with a seeded
+// loss model — "uniform:0.02", "ge:0.02,0.25,0.002,0.5" for bursty
+// Gilbert-Elliott loss — plus -fec N for XOR-parity groups that recover
+// any single loss per group without a resend, and -reorder for packet
+// reordering. Both ends must speak the framing, so the flags appear on
+// server and client alike. With -adaptive on both, the server watches each
+// session's measured loss and goodput and switches the diff codec, stride
+// scale and FEC group at runtime (three-state hysteresis; see
+// ARCHITECTURE.md "Network realism & adaptive link policy"):
+//
+//	go run ./cmd/shadowtutor-server -loss-model uniform:0.02 -fec 8 -adaptive
+//	go run ./cmd/shadowtutor-client -connect 127.0.0.1:7607 -loss-model uniform:0.02 -fec 8 -adaptive
+//
 // To regenerate the paper's tables, or the multi-client scaling table:
 //
 //	go run ./cmd/stbench -frames 600
@@ -103,7 +117,14 @@
 // The fleet/* family runs the sharded fabric: uniform and hash-skewed
 // populations, admission shedding at the watermark, a mid-run shard drain
 // migrating parked sessions, and chaos reconnects that must recover on a
-// different shard via handoff with zero full resends.
+// different shard via handoff with zero full resends. The loss/* family
+// runs the packet tier live — three canonical loss regimes, reordering,
+// FEC — and loss/adaptive-vs-static holds the adaptive link policy to
+// beating the best static codec/FEC configuration on at least 2 of the 3
+// regimes (extra.adaptive_wins). docs/SCENARIOS.md catalogs every
+// registered scenario with its spec dimensions and CI gate; regenerate it
+// with `go run ./cmd/stbench -catalog` (a registry-diff test keeps it in
+// sync).
 //
 // cmd/benchdiff compares two such JSON files under per-metric tolerances
 // and exits nonzero on regression — the CI perf gate:

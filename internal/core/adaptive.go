@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// The adaptive diff envelope is a self-describing MsgStudentDiff body: when
+// the link policy engine is active, every diff names the codec it was
+// encoded with and carries the policy's stride scale, so the codec can
+// change between consecutive diffs without renegotiation — and journal
+// replay after a resume decodes old envelopes with whatever codec they were
+// written under.
+//
+// Wire layout (little-endian):
+//
+//	magic (0xAD) · version (1) · state u8 · strideScale f32 ·
+//	codecLen u8 · codec name · frameIndex u32 · metric f64bits ·
+//	seq u64 · codec payload
+const (
+	adaptiveMagic   = 0xAD
+	adaptiveVersion = 1
+)
+
+// adaptiveCodec resolves a policy decision's codec, rejecting codecs that
+// need out-of-band receiver state (base-relative "delta+…" diffs cannot be
+// decoded by a client that missed the base).
+func adaptiveCodec(name string) (compress.Codec, error) {
+	codec, ok := compress.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: adaptive envelope: unknown codec %q", name)
+	}
+	if _, isDelta := codec.(*compress.Delta); isDelta {
+		return nil, fmt.Errorf("core: adaptive envelope: base-relative codec %q not allowed", name)
+	}
+	return codec, nil
+}
+
+// EncodeAdaptiveDiff encodes a student diff under the codec the link policy
+// decided, framing it so the receiver can decode without knowing the
+// decision in advance.
+func EncodeAdaptiveDiff(d transport.StudentDiff, dec netsim.LinkDecision) ([]byte, error) {
+	codec, err := adaptiveCodec(dec.Codec)
+	if err != nil {
+		return nil, err
+	}
+	name := codec.Name()
+	if len(name) > 255 {
+		return nil, fmt.Errorf("core: adaptive envelope: codec name %q too long", name)
+	}
+	scale := dec.StrideScale
+	if scale <= 0 {
+		scale = 1
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(adaptiveMagic)
+	buf.WriteByte(adaptiveVersion)
+	buf.WriteByte(byte(dec.State))
+	binary.Write(&buf, binary.LittleEndian, math.Float32bits(float32(scale)))
+	buf.WriteByte(byte(len(name)))
+	buf.WriteString(name)
+	binary.Write(&buf, binary.LittleEndian, d.FrameIndex)
+	binary.Write(&buf, binary.LittleEndian, math.Float64bits(d.Metric))
+	binary.Write(&buf, binary.LittleEndian, d.Seq)
+	if err := codec.Encode(&buf, d.Params); err != nil {
+		return nil, fmt.Errorf("core: adaptive envelope: encode %s: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeAdaptiveDiff parses an adaptive envelope, returning the diff (with
+// StrideScale populated from the envelope) and the link decision it was
+// encoded under.
+func DecodeAdaptiveDiff(b []byte) (transport.StudentDiff, netsim.LinkDecision, error) {
+	var d transport.StudentDiff
+	var dec netsim.LinkDecision
+	r := bytes.NewReader(b)
+	var head [3]byte
+	if _, err := r.Read(head[:]); err != nil || head[0] != adaptiveMagic {
+		return d, dec, fmt.Errorf("core: adaptive envelope: bad magic")
+	}
+	if head[1] != adaptiveVersion {
+		return d, dec, fmt.Errorf("core: adaptive envelope: unsupported version %d", head[1])
+	}
+	dec.State = netsim.PolicyState(head[2])
+	var scaleBits uint32
+	if err := binary.Read(r, binary.LittleEndian, &scaleBits); err != nil {
+		return d, dec, fmt.Errorf("core: adaptive envelope: stride scale: %w", err)
+	}
+	dec.StrideScale = float64(math.Float32frombits(scaleBits))
+	if dec.StrideScale <= 0 || math.IsNaN(dec.StrideScale) || math.IsInf(dec.StrideScale, 0) {
+		return d, dec, fmt.Errorf("core: adaptive envelope: bad stride scale %v", dec.StrideScale)
+	}
+	nameLen, err := r.ReadByte()
+	if err != nil {
+		return d, dec, fmt.Errorf("core: adaptive envelope: codec length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return d, dec, fmt.Errorf("core: adaptive envelope: codec name: %w", err)
+	}
+	dec.Codec = string(name)
+	codec, err := adaptiveCodec(dec.Codec)
+	if err != nil {
+		return d, dec, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &d.FrameIndex); err != nil {
+		return d, dec, fmt.Errorf("core: adaptive envelope: frame index: %w", err)
+	}
+	var bits uint64
+	if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+		return d, dec, fmt.Errorf("core: adaptive envelope: metric: %w", err)
+	}
+	d.Metric = math.Float64frombits(bits)
+	if err := binary.Read(r, binary.LittleEndian, &d.Seq); err != nil {
+		return d, dec, fmt.Errorf("core: adaptive envelope: seq: %w", err)
+	}
+	params, err := codec.Decode(r)
+	if err != nil {
+		return d, dec, fmt.Errorf("core: adaptive envelope: decode %s: %w", dec.Codec, err)
+	}
+	d.Params = params
+	d.StrideScale = dec.StrideScale
+	return d, dec, nil
+}

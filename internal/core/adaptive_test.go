@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+)
+
+func TestAdaptiveDiffRoundTrip(t *testing.T) {
+	student := tinyStudent(17)
+	diff := transport.StudentDiff{
+		FrameIndex: 42,
+		Metric:     0.625,
+		Params:     nn.TrainableSubset(student.Params),
+		Seq:        7,
+	}
+	for _, dec := range []netsim.LinkDecision{
+		{State: netsim.LinkClear, Codec: "raw", StrideScale: 1},
+		{State: netsim.LinkDegraded, Codec: "int8", StrideScale: 1.5, FECGroup: 8},
+		{State: netsim.LinkCritical, Codec: "bf16", StrideScale: 2, FECGroup: 4},
+	} {
+		body, err := EncodeAdaptiveDiff(diff, dec)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", dec.Codec, err)
+		}
+		got, gotDec, err := DecodeAdaptiveDiff(body)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", dec.Codec, err)
+		}
+		if got.FrameIndex != diff.FrameIndex || got.Metric != diff.Metric || got.Seq != diff.Seq {
+			t.Fatalf("%s: header mismatch: %+v", dec.Codec, got)
+		}
+		if gotDec.State != dec.State || gotDec.Codec != dec.Codec {
+			t.Fatalf("%s: decision mismatch: %+v", dec.Codec, gotDec)
+		}
+		if math.Abs(got.StrideScale-dec.StrideScale) > 1e-6 {
+			t.Fatalf("%s: stride scale %v, want %v", dec.Codec, got.StrideScale, dec.StrideScale)
+		}
+		if len(got.Params) != len(diff.Params) {
+			t.Fatalf("%s: %d params, want %d", dec.Codec, len(got.Params), len(diff.Params))
+		}
+		// raw must be bit-exact; lossy codecs close.
+		if dec.Codec == "raw" {
+			for i, p := range got.Params {
+				want := diff.Params[i]
+				for j := range p.Value.Data {
+					if p.Value.Data[j] != want.Value.Data[j] {
+						t.Fatalf("raw: param %s differs at %d", p.Name, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptiveDiffRejectsDeltaAndGarbage(t *testing.T) {
+	diff := transport.StudentDiff{Params: nn.TrainableSubset(tinyStudent(3).Params)}
+	if _, err := EncodeAdaptiveDiff(diff, netsim.LinkDecision{Codec: "delta+int8", StrideScale: 1}); err == nil {
+		t.Fatal("base-relative codec accepted")
+	}
+	if _, err := EncodeAdaptiveDiff(diff, netsim.LinkDecision{Codec: "nope", StrideScale: 1}); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, _, err := DecodeAdaptiveDiff(nil); err == nil {
+		t.Fatal("empty body decoded")
+	}
+	good, err := EncodeAdaptiveDiff(diff, netsim.LinkDecision{Codec: "raw", StrideScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x00
+	if _, _, err := DecodeAdaptiveDiff(bad); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	if _, _, err := DecodeAdaptiveDiff(good[:9]); err == nil {
+		t.Fatal("truncated body decoded")
+	}
+}
+
+// A session with an active link policy: the server encodes adaptive
+// envelopes per the policy's decisions, the client decodes them and folds
+// the stride scale into Algorithm 2.
+func TestAdaptiveSessionAppliesPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	frames := collect(t, 31, 60)
+
+	clientConn, serverConn := transport.Pipe(4, nil)
+	student := tinyStudent(21)
+	srv := NewServer(cfg, student.Clone(), teacher.NewOracle(3))
+	// A static "critical" policy: every diff rides int8 with a 2x stride
+	// scale, and the FEC hook must observe the policy's choice.
+	fecCalls := 0
+	srv.Policy = &netsim.StaticPolicy{
+		Label:    "test-critical",
+		Decision: netsim.LinkDecision{State: netsim.LinkCritical, Codec: "int8", StrideScale: 2, FECGroup: 4},
+	}
+	srv.Observe = func() netsim.LinkObservation { return netsim.LinkObservation{LossRate: 0.1} }
+	srv.SetFEC = func(k int) {
+		if k != 4 {
+			t.Errorf("SetFEC(%d), want 4", k)
+		}
+		fecCalls++
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srvErr error
+	go func() {
+		defer wg.Done()
+		srvErr = srv.Serve(serverConn)
+	}()
+	cl := &Client{Cfg: cfg, Student: tinyStudent(99), EvalTeacher: teacher.NewOracle(3), Adaptive: true}
+	if err := cl.Run(clientConn, baseline.NewReplay(frames), len(frames)); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	clientConn.Close()
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server: %v", srvErr)
+	}
+	if cl.Result.KeyFrames < 2 {
+		t.Fatalf("expected multiple key frames, got %d", cl.Result.KeyFrames)
+	}
+	if fecCalls != cl.Result.KeyFrames {
+		t.Fatalf("SetFEC called %d times for %d key frames", fecCalls, cl.Result.KeyFrames)
+	}
+	// With a 2x stride scale the stride trace must outrun the unscaled
+	// session's on the same frames.
+	plain, _ := runSession(t, cfg, frames)
+	sum := func(xs []float64) (s float64) {
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if len(cl.Result.StrideTrace) == 0 || len(plain.Result.StrideTrace) == 0 {
+		t.Fatal("empty stride traces")
+	}
+	scaled := sum(cl.Result.StrideTrace) / float64(len(cl.Result.StrideTrace))
+	base := sum(plain.Result.StrideTrace) / float64(len(plain.Result.StrideTrace))
+	if scaled <= base {
+		t.Fatalf("mean stride %v not above unscaled %v despite 2x scale", scaled, base)
+	}
+}

@@ -48,6 +48,13 @@ type Client struct {
 	// incoming updates — the hook a codec-aware harness uses to decompress
 	// diffs the server encoded with a matching Server.EncodeDiff.
 	DecodeDiff func([]byte) (transport.StudentDiff, error)
+	// Adaptive decodes incoming diffs as self-describing adaptive
+	// envelopes (core.DecodeAdaptiveDiff) — required when the server runs
+	// a link policy (Server.Policy / serve.Options.LinkPolicy). Each
+	// envelope names its own codec and carries the policy's stride scale,
+	// which apply() folds into Algorithm 2's stride. Takes precedence over
+	// DecodeDiff.
+	Adaptive bool
 	// Base, when non-nil, is the shared pretrained parameter set this
 	// client holds. It advertises CapDeltaCheckpoint (with the base hash)
 	// in Hello and Resume, letting the server ship base-relative delta
@@ -193,6 +200,10 @@ func (r *diffReceiver) stop(force bool) {
 }
 
 func (c *Client) decodeDiff(body []byte) (transport.StudentDiff, error) {
+	if c.Adaptive {
+		d, _, err := DecodeAdaptiveDiff(body)
+		return d, err
+	}
 	if c.DecodeDiff != nil {
 		return c.DecodeDiff(body)
 	}
@@ -656,6 +667,11 @@ func (c *Client) apply(rs *runState, d transport.StudentDiff, stride *float64, u
 		rs.lastApplied = d.Seq
 	}
 	*stride = NextStride(c.Cfg, *stride, d.Metric)
+	if d.StrideScale > 0 && d.StrideScale != 1 {
+		// The link policy asked for a longer stride (fewer key frames on a
+		// struggling link); scale within the config's stride bounds.
+		*stride = clampStride(c.Cfg, *stride*d.StrideScale)
+	}
 	c.strides = append(c.strides, *stride)
 	*updated = true
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/netsim"
 	"repro/internal/nn"
 	"repro/internal/teacher"
 	"repro/internal/tensor"
@@ -59,6 +60,20 @@ type Server struct {
 	// a handshake: the actual body size and the raw nn.WriteNamed baseline
 	// it replaced — the envelope_bytes/full_resend_bytes accounting hook.
 	OnCheckpoint func(actual, baseline int)
+	// Policy, when non-nil, runs the adaptive link policy: before each
+	// student diff the server consults Observe for the measured link state,
+	// asks the policy for a decision, applies its FEC choice via SetFEC,
+	// and encodes the diff as a self-describing adaptive envelope
+	// (EncodeAdaptiveDiff) carrying the chosen codec and stride scale.
+	// The client must opt in with Client.Adaptive. Policy takes precedence
+	// over EncodeDiff; it survives a detach/resume cycle with the server
+	// state, while Observe/SetFEC are rebound to each new conn.
+	Policy netsim.LinkPolicy
+	// Observe snapshots the current conn's packet-link stats (nil or a
+	// zero observation reads as a perfectly clear link).
+	Observe func() netsim.LinkObservation
+	// SetFEC adjusts the current conn's parity group size (nil = no-op).
+	SetFEC func(int)
 
 	// DiffSeq is the sequence number of the last student diff produced
 	// (diffs are numbered 1, 2, …). It survives a detach/resume cycle with
@@ -222,11 +237,27 @@ func (s *Server) Loop(conn transport.Conn) error {
 				Params:     nn.TrainableSubset(s.Distiller.Student.Params),
 				Seq:        s.DiffSeq + 1,
 			}
-			encode := transport.EncodeStudentDiff
-			if s.EncodeDiff != nil {
-				encode = s.EncodeDiff
+			var body []byte
+			switch {
+			case s.Policy != nil:
+				var obs netsim.LinkObservation
+				if s.Observe != nil {
+					obs = s.Observe()
+				}
+				dec := s.Policy.Decide(obs)
+				if s.SetFEC != nil && dec.FECGroup != 0 {
+					k := dec.FECGroup
+					if k < 0 {
+						k = 0
+					}
+					s.SetFEC(k)
+				}
+				body, err = EncodeAdaptiveDiff(diff, dec)
+			case s.EncodeDiff != nil:
+				body, err = s.EncodeDiff(diff)
+			default:
+				body, err = transport.EncodeStudentDiff(diff)
 			}
-			body, err := encode(diff)
 			if err != nil {
 				return err
 			}

@@ -105,6 +105,31 @@ var DefaultChecks = map[string]Check{
 	"extra.distill_speedup_x":         {HigherBetter, 0.25},
 	"extra.reference_distill_step_ms": {Informational, 0},
 
+	// Packet-layer metrics (loss families). The measured loss rate is a
+	// deterministic function of the seeded loss model and the packet count,
+	// but the packet count itself moves with key-frame timing, so the gate
+	// only trips when the rate lands in a different regime entirely (e.g. the
+	// loss model silently disconnected and it reads ~0). Raw packet counters
+	// and goodput are machine-speed-dependent: informational.
+	"loss_rate_pct":      {BothWays, 0.75},
+	"fec_group":          {BothWays, 0},
+	"packets_sent":       {Informational, 0},
+	"packets_lost":       {Informational, 0},
+	"packets_recovered":  {Informational, 0},
+	"packet_retransmits": {Informational, 0},
+	"goodput_mbps":       {Informational, 0},
+
+	// Adaptive-vs-static contract (loss/adaptive-vs-static). adaptive_wins
+	// counts loss regimes (of 3) where the adaptive policy holds accuracy
+	// and either beats the fastest static configuration's FPS or matches it
+	// while shipping materially fewer bytes (the byte axis is a
+	// near-deterministic function of codec choices, so the count survives
+	// host-speed noise; see runAdaptiveVsStatic). The 0.34 tolerance floors
+	// the gate at 2 wins whether the committed baseline measured 2 or 3; a
+	// policy that stops adapting falls to 0–1 and trips. Per-regime ratios are informational
+	// diagnostics.
+	"extra.adaptive_wins": {HigherBetter, 0.34},
+
 	// Delta-checkpoint metrics (scenarios with Spec.EnvelopeCodec). The
 	// shrink ratio is the delta-checkpoint contract: model-state bytes
 	// crossing a process boundary must stay ≥5× under their raw baseline.
@@ -175,6 +200,13 @@ func metricValues(m Metrics) map[string]float64 {
 		"handoffs":                float64(m.Handoffs),
 		"sheds":                   float64(m.Sheds),
 		"migrated":                float64(m.Migrated),
+		"fec_group":               float64(m.FECGroup),
+		"packets_sent":            float64(m.PacketsSent),
+		"packets_lost":            float64(m.PacketsLost),
+		"packets_recovered":       float64(m.PacketsRecovered),
+		"packet_retransmits":      float64(m.PacketRetransmits),
+		"loss_rate_pct":           m.LossRatePct,
+		"goodput_mbps":            m.GoodputMbps,
 	}
 	for i, n := range m.ShardSessions {
 		out[fmt.Sprintf("shard_sessions.%d", i)] = float64(n)

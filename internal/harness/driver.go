@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -70,18 +71,44 @@ func sessionID(spec Spec, c int) uint64 {
 	}
 }
 
+// packetOptions builds one connection's packet-layer config from the spec.
+// Each connection needs its own options value: loss models carry state
+// (Gilbert-Elliott) and must never be shared across conns, and the seed
+// keys every draw, so per-conn seeds keep links independent while the whole
+// scenario stays deterministic.
+func packetOptions(spec Spec, seed int64, totals *netsim.LinkTotals) (netsim.PacketOptions, error) {
+	loss, err := netsim.LossModelByName(spec.LossModel, seed, spec.Trace)
+	if err != nil {
+		return netsim.PacketOptions{}, err
+	}
+	var im *netsim.Impairment
+	if spec.Reorder > 0 {
+		im = &netsim.Impairment{Seed: seed ^ 0x5eed, ReorderProb: spec.Reorder}
+	}
+	return netsim.PacketOptions{FECGroup: spec.FECGroup, Loss: loss, Impair: im, Totals: totals}, nil
+}
+
 // clientDialer returns the dial function of one client: loopback TCP,
-// optionally fault-scripted (chaos), then throttled or trace-shaped. The
-// attempt counter makes a client's i-th (re)connection pick up
-// ChaosCuts[i]; connections past the script run clean. The counter needs
-// no lock — a client dials sequentially (initial connect, then one
+// optionally fault-scripted (chaos), then throttled or trace-shaped, with
+// the packet layer innermost when the spec activates it (pseed keys this
+// client's uplink loss draws; attempt k salts it so redials stay
+// independent). The attempt counter makes a client's i-th (re)connection
+// pick up ChaosCuts[i]; connections past the script run clean. The counter
+// needs no lock — a client dials sequentially (initial connect, then one
 // recovery at a time), with happens-before edges through the recovery
 // hand-off.
-func clientDialer(spec Spec, addr string, acct *netsim.Accountant) func() (transport.Conn, error) {
+func clientDialer(spec Spec, addr string, acct *netsim.Accountant, up *netsim.LinkTotals, pseed int64) func() (transport.Conn, error) {
 	attempt := 0
 	return func() (transport.Conn, error) {
 		k := attempt
 		attempt++
+		if spec.usePackets() {
+			popts, err := packetOptions(spec, pseed+int64(k)*101, up)
+			if err != nil {
+				return nil, err
+			}
+			return transport.DialImpaired(addr, spec.Bandwidth, spec.Trace, popts, acct)
+		}
 		if len(spec.ChaosCuts) == 0 {
 			if spec.Trace != nil {
 				return transport.DialShaped(addr, spec.Trace, acct)
@@ -128,9 +155,23 @@ func clientDialer(spec Spec, addr string, acct *netsim.Accountant) func() (trans
 // counterpart of examples/quickstart at scenario scale.
 func Drive(name, family string, spec Spec) (Metrics, error) {
 	spec.setDefaults()
-	enc, dec, err := diffHooks(spec.Codec)
-	if err != nil {
-		return Metrics{}, err
+	if spec.usePackets() && len(spec.ChaosCuts) > 0 {
+		return Metrics{}, fmt.Errorf("harness: packet layer and chaos faults are mutually exclusive (a FaultyConn cut mid-packet corrupts the framing)")
+	}
+	if spec.Adaptive && spec.Codec != "" {
+		return Metrics{}, fmt.Errorf("harness: Adaptive and Codec are mutually exclusive (the link policy picks the codec)")
+	}
+	var enc func(transport.StudentDiff) ([]byte, error)
+	var dec func([]byte) (transport.StudentDiff, error)
+	var err error
+	linkPolicy := ""
+	if spec.Adaptive {
+		linkPolicy = "adaptive"
+	} else {
+		enc, dec, err = diffHooks(spec.Codec)
+		if err != nil {
+			return Metrics{}, err
+		}
 	}
 	cfg := core.DefaultConfig()
 	cfg.Backend = spec.Backend
@@ -166,6 +207,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 					MaxBatch:      spec.MaxBatch,
 					EncodeDiff:    enc,
 					EnvelopeCodec: spec.EnvelopeCodec,
+					LinkPolicy:    linkPolicy,
 				}
 			},
 		})
@@ -178,6 +220,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 			MaxBatch:      spec.MaxBatch,
 			EncodeDiff:    enc,
 			EnvelopeCodec: spec.EnvelopeCodec,
+			LinkPolicy:    linkPolicy,
 		})
 	}
 	if err != nil {
@@ -187,6 +230,26 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	ln, err := transport.Listen("127.0.0.1:0", 0, acct)
 	if err != nil {
 		return Metrics{}, err
+	}
+	// Packet layer: both directions wrap. The listener factory gives every
+	// accepted conn (the server→client downlink) its own seeded loss model;
+	// client dialers wrap the uplink symmetrically below.
+	var downTotals, upTotals *netsim.LinkTotals
+	if spec.usePackets() {
+		// Fail on an unparsable loss-model spec before any session starts —
+		// the accept-time factory below cannot return an error.
+		if _, err := packetOptions(spec, spec.Seed, nil); err != nil {
+			return Metrics{}, err
+		}
+		downTotals, upTotals = &netsim.LinkTotals{}, &netsim.LinkTotals{}
+		var acceptSeq atomic.Int64
+		ln.SetPacketWrap(func() *netsim.PacketOptions {
+			popts, err := packetOptions(spec, spec.Seed+0xD0000000+acceptSeq.Add(1)*977, downTotals)
+			if err != nil {
+				return nil
+			}
+			return &popts
+		})
 	}
 	// Capacity 2: the serve-loop result plus a possible drain error, so
 	// neither sender can block after Drive has returned.
@@ -228,7 +291,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 				errs[c] = err
 				return
 			}
-			dial := clientDialer(spec, ln.Addr(), acct)
+			dial := clientDialer(spec, ln.Addr(), acct, upTotals, spec.Seed+0x0A000000+int64(c)*7919)
 			conn, err := dial()
 			if err != nil {
 				errs[c] = err
@@ -242,6 +305,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 				EvalEvery:    spec.EvalEvery,
 				SessionID:    sessionID(spec, c),
 				DecodeDiff:   dec,
+				Adaptive:     spec.Adaptive,
 				TrackLatency: true,
 			}
 			if spec.EnvelopeCodec != "" {
@@ -355,6 +419,21 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	m.TeacherMeanBatch = ms.Teacher.MeanBatch()
 	m.MeanDistillSteps = ms.MeanDistillSteps()
 	m.DistillStepMS = float64(ms.MeanStepLatency()) / float64(time.Millisecond)
+
+	if spec.usePackets() {
+		m.LossModel = spec.LossLabel()
+		m.FECGroup = spec.FECGroup
+		m.PacketsSent = downTotals.Sent.Load() + upTotals.Sent.Load()
+		m.PacketsLost = downTotals.Lost.Load() + upTotals.Lost.Load()
+		m.PacketsRecovered = downTotals.Recovered.Load() + upTotals.Recovered.Load()
+		m.PacketRetransmits = downTotals.Retransmits.Load() + upTotals.Retransmits.Load()
+		if m.PacketsSent > 0 {
+			m.LossRatePct = 100 * float64(m.PacketsLost) / float64(m.PacketsSent)
+		}
+		// Goodput is delivered diff payload over wall time: the downlink is
+		// where the policy's codec choices show up as bytes saved.
+		m.GoodputMbps = netsim.TrafficMbps(downTotals.PayloadBytes.Load(), elapsed)
+	}
 
 	if spec.EnvelopeCodec != "" {
 		// Delta-checkpoint byte accounting: envelope_shrink_x is the wire

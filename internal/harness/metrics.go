@@ -19,9 +19,11 @@ import (
 // replays, full resends, stale frames, recovery latency, mIoU delta).
 // Version 3 added the sharded-fabric block (shard count, per-shard
 // sessions served, handoffs, sheds, drain migrations).
+// Version 4 added the packet-layer block (loss model, FEC group, packet
+// counters, loss rate, goodput) for the loss/* families.
 const (
 	Schema        = "shadowtutor-bench"
-	SchemaVersion = 3
+	SchemaVersion = 4
 )
 
 // Metrics is the structured result of one scenario run. Field meanings:
@@ -83,6 +85,23 @@ type Metrics struct {
 	Handoffs      int64   `json:"handoffs,omitempty"`
 	Sheds         int64   `json:"sheds,omitempty"`
 	Migrated      int64   `json:"migrated,omitempty"`
+
+	// Packet-layer metrics, populated when the scenario activates the
+	// netsim packet tier (loss families). LossModel echoes the spec's
+	// loss-model string and FECGroup the configured parity group size (the
+	// adaptive policy may override the live value). Packet counters sum
+	// both link directions across every connection; LossRatePct is
+	// simulated drops over packets sent (before FEC recovery), and
+	// GoodputMbps is delivered application payload over wall time on the
+	// server→client direction.
+	LossModel         string  `json:"loss_model,omitempty"`
+	FECGroup          int     `json:"fec_group,omitempty"`
+	PacketsSent       int64   `json:"packets_sent,omitempty"`
+	PacketsLost       int64   `json:"packets_lost,omitempty"`
+	PacketsRecovered  int64   `json:"packets_recovered,omitempty"`
+	PacketRetransmits int64   `json:"packet_retransmits,omitempty"`
+	LossRatePct       float64 `json:"loss_rate_pct,omitempty"`
+	GoodputMbps       float64 `json:"goodput_mbps,omitempty"`
 
 	// Extra carries family-specific metrics (ablation columns, codec byte
 	// counts). Keys are stable snake_case; benchdiff treats them as

@@ -88,6 +88,34 @@ type Spec struct {
 	// base). Empty keeps the legacy raw paths, so the paper-comparable
 	// scenarios measure unchanged wire traffic.
 	EnvelopeCodec string
+	// LossModel activates the packet layer on every link and names its loss
+	// model (netsim.LossModelByName form: "uniform:0.02",
+	// "ge:pEnter,pExit,lossGood,lossBad", "threshold:mbps,below,above" — the
+	// threshold form keys off Trace and requires one). Both directions are
+	// wrapped; each connection gets its own deterministically-seeded model
+	// instance. Mutually exclusive with the chaos knobs (the packet layer
+	// owns the socket's framing; FaultyConn cuts would corrupt mid-packet).
+	LossModel string
+	// FECGroup, with the packet layer active, groups this many data packets
+	// under one XOR parity packet so any single loss per group recovers
+	// without a resend (0 disables FEC). The adaptive policy may override it
+	// per-link at runtime.
+	FECGroup int
+	// Reorder is the per-packet probability of deferred delivery (packet
+	// reordering) when the packet layer is active.
+	Reorder float64
+	// Adaptive runs the serving tier under the netsim adaptive link policy:
+	// the server watches each session's measured loss/goodput and switches
+	// diff codec, stride scale, and FEC group at runtime (serve
+	// Options.LinkPolicy = "adaptive", clients decode adaptive envelopes).
+	// Mutually exclusive with Codec — the policy picks the codec.
+	Adaptive bool
+}
+
+// usePackets reports whether the spec activates the packet layer (MTU
+// framing, loss, FEC, reordering) on the scenario's links.
+func (s Spec) usePackets() bool {
+	return s.LossModel != "" || s.FECGroup > 0 || s.Reorder > 0
 }
 
 func (s *Spec) setDefaults() {
@@ -131,12 +159,28 @@ func (s Spec) BandwidthLabel() string {
 	}
 }
 
-// CodecLabel renders the codec for metrics output.
+// CodecLabel renders the codec for metrics output. Under the adaptive link
+// policy there is no fixed codec — the policy switches it at runtime.
 func (s Spec) CodecLabel() string {
+	if s.Adaptive {
+		return "adaptive"
+	}
 	if s.Codec == "" {
 		return "raw"
 	}
 	return s.Codec
+}
+
+// LossLabel renders the packet-layer profile for metrics output; empty when
+// the scenario runs plain byte-stream links.
+func (s Spec) LossLabel() string {
+	if !s.usePackets() {
+		return ""
+	}
+	if s.LossModel == "" {
+		return "none"
+	}
+	return s.LossModel
 }
 
 // BackendLabel renders the compute backend for metrics output, resolving

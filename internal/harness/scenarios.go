@@ -31,6 +31,8 @@ var WifiFade = netsim.MustTrace("wifi-fade",
 //	alloc/*            — PR 2 steady-state allocation guard
 //	chaos/*            — scripted mid-stream connection faults measuring
 //	                     the resume subsystem (see chaos.go)
+//	loss/*             — packet-level loss/reorder/FEC regimes and the
+//	                     adaptive-vs-static link policy contract (see loss.go)
 //	soak/*             — long multi-client runs for the nightly -race job
 func init() {
 	sweep := func(variant string, spec Spec) {

@@ -64,6 +64,24 @@ func goldenBench() BenchFile {
 			Extra:           map[string]float64{"clean_miou": 0.226},
 		},
 		{
+			Scenario:          "loss/burst",
+			Family:            "loss",
+			Workload:          "drone",
+			Bandwidth:         "30Mbps",
+			Codec:             "raw",
+			Clients:           1,
+			FramesPerClient:   120,
+			MeanIoU:           0.21,
+			LossModel:         "ge:0.02,0.25,0.002,0.5",
+			FECGroup:          8,
+			PacketsSent:       50412,
+			PacketsLost:       1043,
+			PacketsRecovered:  815,
+			PacketRetransmits: 228,
+			LossRatePct:       2.07,
+			GoodputMbps:       27.4,
+		},
+		{
 			Scenario:        "fleet/chaos-reconnect-to-other-shard",
 			Family:          "fleet",
 			Workload:        "mixed",

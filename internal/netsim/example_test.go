@@ -1,7 +1,11 @@
 package netsim_test
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"net"
+	"time"
 
 	"repro/internal/netsim"
 )
@@ -17,6 +21,34 @@ func ExampleLink_TransferTime() {
 	// Output:
 	// 80 Mbps: 0.264s
 	// 40 Mbps: 0.527s
+}
+
+// A trace integrates transfer time exactly across bandwidth steps: 40 MB
+// started at t=0 gets 2 s at 80 Mbps (20 MB) and serialises the rest at
+// 8 Mbps.
+func ExampleTrace_TransferTime() {
+	tr := netsim.MustTrace("fade",
+		netsim.TraceStep{At: 0, Bandwidth: 80},
+		netsim.TraceStep{At: 2 * time.Second, Bandwidth: 8},
+	)
+	d := tr.TransferTime(0, 40_000_000)
+	fmt.Printf("%.0fs\n", d.Seconds())
+	// Output:
+	// 22s
+}
+
+// A FaultyConn severs the connection at an exact byte offset: a 6-byte
+// write over a script that cuts after 4 bytes delivers exactly the scripted
+// prefix before failing with ErrInjectedCut.
+func ExampleFaultyConn() {
+	a, b := net.Pipe()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+	fc := netsim.NewFaultyConn(a, netsim.Fault{AfterBytes: 4, Dir: netsim.Up})
+	n, err := fc.Write([]byte("hello!"))
+	fmt.Printf("wrote %d bytes, cut: %v\n", n, errors.Is(err, netsim.ErrInjectedCut))
+	// Output:
+	// wrote 4 bytes, cut: true
 }
 
 // TrafficMbps is the unit Table 5 reports: bytes moved per wall-clock time.

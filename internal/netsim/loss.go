@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Loss models decide the fate of individual packets. All randomness comes
+// from counter-based hashing (splitmix64 over the packet sequence number),
+// never from a stateful PRNG or the wall clock, so a model produces a
+// bitwise-identical loss schedule for a fixed seed regardless of timing,
+// worker count, or -race interleaving.
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64→64 bit
+// hash used to derive per-packet uniform draws from (seed, seq).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit returns a uniform draw in [0,1) keyed on (seed, seq, salt). Distinct
+// salts give independent draw streams over the same packet sequence.
+func unit(seed int64, seq, salt uint64) float64 {
+	h := mix64(uint64(seed) ^ mix64(seq) ^ mix64(salt^0xa5a5a5a5a5a5a5a5))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Draw-stream salts: one stream per independent decision a packet faces.
+const (
+	saltUniform   = 0x1001
+	saltGEEnter   = 0x2001
+	saltGEExit    = 0x2002
+	saltGELoss    = 0x2003
+	saltThreshold = 0x3001
+	saltReorder   = 0x4001
+	saltDefer     = 0x4002
+)
+
+// LossModel decides whether the packet with the given sequence number is
+// lost. elapsed is the link's age (time since the connection opened) and
+// only matters to schedule-driven models; hash-based models ignore it, so
+// their schedules are pure functions of (seed, seq).
+//
+// Drop is called exactly once per original packet transmission in strictly
+// increasing seq order on a given link (retransmissions always succeed —
+// the model priced the loss the first time).
+type LossModel interface {
+	// Name returns the spec string the model was built from (see
+	// LossModelByName), used for labels and metrics.
+	Name() string
+	// Drop reports whether packet seq, sent at link age elapsed, is lost.
+	Drop(seq uint64, elapsed time.Duration) bool
+}
+
+// UniformLoss drops each packet independently with probability Rate — the
+// memoryless baseline regime.
+type UniformLoss struct {
+	Seed int64
+	Rate float64
+}
+
+// NewUniformLoss builds a uniform random-loss model.
+func NewUniformLoss(rate float64, seed int64) *UniformLoss {
+	return &UniformLoss{Seed: seed, Rate: rate}
+}
+
+// Name implements LossModel.
+func (u *UniformLoss) Name() string { return fmt.Sprintf("uniform:%g", u.Rate) }
+
+// Drop implements LossModel. The decision is a pure function of (Seed, seq).
+func (u *UniformLoss) Drop(seq uint64, _ time.Duration) bool {
+	return unit(u.Seed, seq, saltUniform) < u.Rate
+}
+
+// GilbertElliott is the classic two-state burst-loss chain: a Good state
+// with rare losses and a Bad state with heavy losses, with per-packet
+// transition probabilities between them. It reproduces the clustered losses
+// of fading radio links that uniform models cannot.
+//
+// The Markov state advances once per Drop call; because Drop is called in
+// seq order and every draw is hashed from (Seed, seq), the state trajectory
+// — and hence the loss schedule — is deterministic per seed.
+type GilbertElliott struct {
+	Seed int64
+	// PEnterBad is P(Good→Bad) per packet; PExitBad is P(Bad→Good).
+	PEnterBad, PExitBad float64
+	// LossGood and LossBad are the per-packet loss rates inside each state.
+	LossGood, LossBad float64
+
+	mu  sync.Mutex
+	bad bool
+}
+
+// NewGilbertElliott builds a burst-loss model starting in the Good state.
+func NewGilbertElliott(pEnterBad, pExitBad, lossGood, lossBad float64, seed int64) *GilbertElliott {
+	return &GilbertElliott{
+		Seed: seed, PEnterBad: pEnterBad, PExitBad: pExitBad,
+		LossGood: lossGood, LossBad: lossBad,
+	}
+}
+
+// Name implements LossModel.
+func (g *GilbertElliott) Name() string {
+	return fmt.Sprintf("ge:%g,%g,%g,%g", g.PEnterBad, g.PExitBad, g.LossGood, g.LossBad)
+}
+
+// Drop implements LossModel: advance the chain, then draw against the
+// current state's loss rate.
+func (g *GilbertElliott) Drop(seq uint64, _ time.Duration) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.bad {
+		if unit(g.Seed, seq, saltGEExit) < g.PExitBad {
+			g.bad = false
+		}
+	} else if unit(g.Seed, seq, saltGEEnter) < g.PEnterBad {
+		g.bad = true
+	}
+	rate := g.LossGood
+	if g.bad {
+		rate = g.LossBad
+	}
+	return unit(g.Seed, seq, saltGELoss) < rate
+}
+
+// ThresholdLoss keys the loss rate to a bandwidth Trace: while the traced
+// bandwidth is at or above Below the link loses RateAbove, and when it sags
+// under the threshold the loss rate jumps to RateBelow — the "link is
+// congested exactly when it is slow" coupling of real wireless fades.
+type ThresholdLoss struct {
+	Seed  int64
+	Trace *Trace
+	// Below is the bandwidth threshold; RateAbove/RateBelow the loss rates
+	// in effect on either side of it.
+	Below                Mbps
+	RateAbove, RateBelow float64
+}
+
+// NewThresholdLoss builds a trace-keyed threshold schedule.
+func NewThresholdLoss(tr *Trace, below Mbps, rateAbove, rateBelow float64, seed int64) *ThresholdLoss {
+	return &ThresholdLoss{Seed: seed, Trace: tr, Below: below, RateAbove: rateAbove, RateBelow: rateBelow}
+}
+
+// Name implements LossModel.
+func (t *ThresholdLoss) Name() string {
+	return fmt.Sprintf("threshold:%g,%g,%g", float64(t.Below), t.RateAbove, t.RateBelow)
+}
+
+// Drop implements LossModel. The draw itself is pure in (Seed, seq); only
+// the rate selection consults the trace at the link's age.
+func (t *ThresholdLoss) Drop(seq uint64, elapsed time.Duration) bool {
+	rate := t.RateAbove
+	if t.Trace != nil && t.Trace.At(elapsed) < t.Below {
+		rate = t.RateBelow
+	}
+	return unit(t.Seed, seq, saltThreshold) < rate
+}
+
+// LossModelByName parses a loss-model spec string:
+//
+//	""               no loss (returns nil, nil)
+//	"none"           no loss (returns nil, nil)
+//	"uniform:R"      uniform random loss at rate R (e.g. "uniform:0.02")
+//	"ge:PE,PX,LG,LB" Gilbert-Elliott: P(enter bad), P(exit bad),
+//	                 loss rate in Good, loss rate in Bad
+//	"threshold:B,RA,RB"  trace-keyed: loss RA while bandwidth ≥ B Mbps,
+//	                 RB below it (requires a non-nil trace)
+//
+// seed keys every model's hash draws; tr is consulted only by "threshold".
+func LossModelByName(spec string, seed int64, tr *Trace) (LossModel, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	kind, argstr, _ := strings.Cut(spec, ":")
+	var args []float64
+	if argstr != "" {
+		for _, p := range strings.Split(argstr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: loss model %q: bad number %q", spec, p)
+			}
+			args = append(args, v)
+		}
+	}
+	bad := func(want string) error {
+		return fmt.Errorf("netsim: loss model %q: want %q", spec, want)
+	}
+	switch kind {
+	case "uniform":
+		if len(args) != 1 || args[0] < 0 || args[0] >= 1 {
+			return nil, bad("uniform:<rate in [0,1)>")
+		}
+		return NewUniformLoss(args[0], seed), nil
+	case "ge":
+		if len(args) != 4 {
+			return nil, bad("ge:<pEnterBad>,<pExitBad>,<lossGood>,<lossBad>")
+		}
+		for _, v := range args {
+			if v < 0 || v > 1 {
+				return nil, bad("ge probabilities in [0,1]")
+			}
+		}
+		return NewGilbertElliott(args[0], args[1], args[2], args[3], seed), nil
+	case "threshold":
+		if len(args) != 3 || args[0] <= 0 || args[1] < 0 || args[1] >= 1 || args[2] < 0 || args[2] >= 1 {
+			return nil, bad("threshold:<mbps>,<rateAbove>,<rateBelow>")
+		}
+		if tr == nil {
+			return nil, fmt.Errorf("netsim: loss model %q needs a bandwidth trace", spec)
+		}
+		return NewThresholdLoss(tr, Mbps(args[0]), args[1], args[2], seed), nil
+	default:
+		return nil, fmt.Errorf("netsim: unknown loss model %q", spec)
+	}
+}

@@ -1,8 +1,3 @@
-// Package netsim models the network between the mobile client and the
-// server: bandwidth-limited links matching the paper's §6.1 setup (80 Mbps
-// Wi-Fi) and §6.4 bandwidth sweep (90…8 Mbps), transfer-time accounting,
-// and the scaling of our reduced-resolution synthetic frames back to the
-// paper's HD data sizes so traffic numbers stay comparable to Tables 4–5.
 package netsim
 
 import (

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/teacher"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+func TestNewManagerLinkPolicyValidation(t *testing.T) {
+	base := tinyStudent(5)
+	opts := func() Options {
+		return Options{Cfg: core.DefaultConfig(), Base: base, Teacher: teacher.NewOracle(7), MaxSessions: 1}
+	}
+
+	o := opts()
+	o.LinkPolicy = "no-such-policy"
+	if _, err := NewManager(o); err == nil {
+		t.Fatal("unknown link policy accepted")
+	}
+
+	o = opts()
+	o.LinkPolicy = "adaptive"
+	o.EncodeDiff = transport.EncodeStudentDiff
+	if _, err := NewManager(o); err == nil {
+		t.Fatal("LinkPolicy+EncodeDiff accepted")
+	}
+
+	o = opts()
+	o.LinkPolicy = "static:int8"
+	m, err := NewManager(o)
+	if err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	m.Close()
+}
+
+// A managed session under a link policy: diffs ride adaptive envelopes even
+// over a plain (unmeasured) conn — Observe/SetFEC stay nil and the policy
+// decides on a zero observation.
+func TestManagerSessionWithLinkPolicy(t *testing.T) {
+	base := tinyStudent(5)
+	o := Options{Cfg: core.DefaultConfig(), Base: base, Teacher: teacher.NewOracle(7), MaxSessions: 1, LinkPolicy: "adaptive"}
+	m, err := NewManager(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	clientConn, serverConn := transport.Pipe(4, nil)
+	defer clientConn.Close()
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer serverConn.Close()
+		errs <- m.Handle(serverConn)
+	}()
+
+	gen, err := video.NewGenerator(video.CategoryConfig(
+		video.Category{Camera: video.Fixed, Scenery: video.People}, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]video.Frame, 0, 40)
+	for i := 0; i < 40; i++ {
+		frames = append(frames, gen.Next())
+	}
+	cl := &core.Client{Cfg: core.DefaultConfig(), Student: base.Clone(), EvalTeacher: teacher.NewOracle(7), Adaptive: true}
+	if err := cl.Run(clientConn, baseline.NewReplay(frames), len(frames)); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	clientConn.Close()
+	wg.Wait()
+	if err := <-errs; err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	if cl.Result.KeyFrames < 1 {
+		t.Fatalf("no key frames distilled")
+	}
+}

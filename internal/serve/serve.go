@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/nn"
 	"repro/internal/resume"
 	"repro/internal/teacher"
@@ -98,6 +99,15 @@ type Options struct {
 	// CapDeltaCheckpoint. Adam moments always travel bit-exact regardless
 	// (see envelope.go). Empty keeps the legacy STH1/raw paths.
 	EnvelopeCodec string
+	// LinkPolicy, when non-empty, names the adaptive link policy
+	// (netsim.PolicyByName form, e.g. "adaptive") each session runs: the
+	// server watches the conn's packet-link stats and switches diff codec,
+	// stride scale, and FEC group size at runtime, encoding diffs as
+	// self-describing adaptive envelopes. Clients must opt in with
+	// core.Client.Adaptive. The policy instance is per session and
+	// survives detach/resume; its link observation rebinds to each new
+	// conn. Mutually exclusive with EncodeDiff.
+	LinkPolicy string
 	// Logf, when non-nil, receives session lifecycle lines.
 	Logf func(format string, v ...any)
 }
@@ -285,6 +295,14 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.IDStride == 0 {
 		opts.IDStride = 1
 	}
+	if opts.LinkPolicy != "" {
+		if _, err := netsim.PolicyByName(opts.LinkPolicy); err != nil {
+			return nil, err
+		}
+		if opts.EncodeDiff != nil {
+			return nil, errors.New("serve: LinkPolicy and EncodeDiff are mutually exclusive (the policy picks the diff codec)")
+		}
+	}
 	var envCodec compress.Codec
 	var ck *core.CheckpointCodec
 	if opts.EnvelopeCodec != "" {
@@ -385,6 +403,33 @@ func (m *Manager) dispatch(conn transport.Conn, first transport.Message) error {
 	return m.handleFresh(conn, first)
 }
 
+// bindLink installs the manager's link policy on a session server and
+// (re)binds its link observation and FEC hooks to conn. The policy object
+// itself is created once per session — its hysteresis state survives
+// detach/resume — while Observe/SetFEC follow whichever connection the
+// session currently rides: they only bind when conn actually measures a
+// link (i.e. a transport.TCPConn wrapping a netsim.PacketConn); a plain
+// conn leaves them nil and the policy decides on a zero observation.
+func (m *Manager) bindLink(srv *core.Server, conn transport.Conn) {
+	if m.opts.LinkPolicy == "" {
+		return
+	}
+	if srv.Policy == nil {
+		p, err := netsim.PolicyByName(m.opts.LinkPolicy)
+		if err != nil {
+			return // validated in NewManager; unreachable
+		}
+		srv.Policy = p
+	}
+	srv.Observe, srv.SetFEC = nil, nil
+	if lo, ok := conn.(netsim.LinkObserver); ok {
+		srv.Observe = lo.LinkObservation
+	}
+	if fs, ok := conn.(interface{ SetFECGroup(int) }); ok {
+		srv.SetFEC = fs.SetFECGroup
+	}
+}
+
 // handleFresh runs a brand-new session over conn, first.Type being the
 // client's opening message (normally a Hello; core rejects anything else).
 func (m *Manager) handleFresh(conn transport.Conn, first transport.Message) error {
@@ -396,6 +441,7 @@ func (m *Manager) handleFresh(conn transport.Conn, first transport.Message) erro
 	srv.OnCheckpoint = m.countCheckpoint
 	journal := resume.NewJournal(m.opts.JournalDepth)
 	srv.OnDiff = journal.Append
+	m.bindLink(srv, conn)
 	var id, epoch uint64
 	srv.AssignSession = func(h transport.Hello) (uint64, uint64, error) {
 		id, epoch = m.register(h.SessionID, srv, journal)
@@ -451,6 +497,9 @@ func (m *Manager) handleResume(conn transport.Conn, first transport.Message) err
 		return fmt.Errorf("serve: resume of session %d rejected: %s", req.SessionID, reason)
 	}
 	srv := sess.srv
+	// The policy instance carries its hysteresis state across the outage,
+	// but its link observation must follow the *new* conn.
+	m.bindLink(srv, conn)
 
 	entries, complete := sess.journal.Suffix(req.LastDiffSeq)
 	if complete {

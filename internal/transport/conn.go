@@ -30,12 +30,35 @@ type TCPConn struct {
 	recvMu  sync.Mutex
 	acct    *netsim.Accountant
 	fromSrv bool // direction tag for accounting
+	pc      *netsim.PacketConn
 }
 
 // NewTCPConn wraps a net.Conn. acct may be nil; fromServer marks the server
 // side (its Sends count as to-client bytes).
 func NewTCPConn(conn net.Conn, acct *netsim.Accountant, fromServer bool) *TCPConn {
 	return &TCPConn{conn: conn, acct: acct, fromSrv: fromServer}
+}
+
+// BindPacket records the netsim packet layer somewhere in this conn's wrap
+// chain, exposing its link stats and FEC control to the serving path
+// (LinkObservation / SetFECGroup).
+func (c *TCPConn) BindPacket(pc *netsim.PacketConn) { c.pc = pc }
+
+// LinkObservation implements netsim.LinkObserver. Without a bound packet
+// layer it reports a zero observation (a perfectly clear link).
+func (c *TCPConn) LinkObservation() netsim.LinkObservation {
+	if c.pc == nil {
+		return netsim.LinkObservation{}
+	}
+	return c.pc.Observation()
+}
+
+// SetFECGroup adjusts the bound packet layer's parity group size; it is a
+// no-op without one.
+func (c *TCPConn) SetFECGroup(k int) {
+	if c.pc != nil {
+		c.pc.SetFECGroup(k)
+	}
 }
 
 // Send implements Conn.
@@ -87,12 +110,45 @@ func DialShaped(addr string, tr *netsim.Trace, acct *netsim.Accountant) (*TCPCon
 	return NewTCPConn(netsim.NewTracedConn(nc, tr, nil), acct, false), nil
 }
 
+// DialImpaired connects over a full simulated-link chain: an optional
+// bandwidth shaper (trace wins over fixed bandwidth) with the netsim packet
+// layer inside it, so packet overhead, parity, and retransmissions consume
+// shaped bandwidth. popts configures the uplink's loss/FEC/impairment; the
+// packet layer only interoperates with a server that wraps accepted conns
+// the same way (Listener.SetPacketWrap).
+func DialImpaired(addr string, bw netsim.Mbps, tr *netsim.Trace, popts netsim.PacketOptions, acct *netsim.Accountant) (*TCPConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	var conn net.Conn = nc
+	switch {
+	case tr != nil:
+		conn = netsim.NewTracedConn(nc, tr, nil)
+	case bw > 0:
+		conn = netsim.NewThrottledConn(nc, bw, nil)
+	}
+	pc := netsim.NewPacketConn(conn, popts)
+	tc := NewTCPConn(pc, acct, false)
+	tc.BindPacket(pc)
+	return tc, nil
+}
+
 // Listener accepts ShadowTutor protocol connections.
 type Listener struct {
-	ln   net.Listener
-	bw   netsim.Mbps
-	acct *netsim.Accountant
+	ln     net.Listener
+	bw     netsim.Mbps
+	acct   *netsim.Accountant
+	packet func() *netsim.PacketOptions
 }
+
+// SetPacketWrap installs a per-accept packet-layer factory: each accepted
+// conn is wrapped in a netsim.PacketConn built from the options the factory
+// returns (inside the bandwidth throttle, so packet overhead is priced).
+// The factory runs once per accept — return distinct loss-model instances
+// (stateful models must not be shared across conns) or nil to skip wrapping
+// that conn. Clients must dial with a matching packet layer (DialImpaired).
+func (l *Listener) SetPacketWrap(factory func() *netsim.PacketOptions) { l.packet = factory }
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0").
 func Listen(addr string, bw netsim.Mbps, acct *netsim.Accountant) (*Listener, error) {
@@ -116,7 +172,15 @@ func (l *Listener) Accept() (*TCPConn, error) {
 	if l.bw > 0 {
 		conn = netsim.NewThrottledConn(nc, l.bw, nil)
 	}
-	return NewTCPConn(conn, l.acct, true), nil
+	tc := &TCPConn{conn: conn, acct: l.acct, fromSrv: true}
+	if l.packet != nil {
+		if popts := l.packet(); popts != nil {
+			pc := netsim.NewPacketConn(conn, *popts)
+			tc.conn = pc
+			tc.BindPacket(pc)
+		}
+	}
+	return tc, nil
 }
 
 // Close stops the listener.

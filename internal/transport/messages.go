@@ -134,6 +134,11 @@ type StudentDiff struct {
 	// A resuming client declares the last Seq it applied and the server
 	// replays only the journal suffix past it. Zero means "unnumbered".
 	Seq uint64
+	// StrideScale multiplies Algorithm 2's next stride on the client when
+	// > 0; 1 (or 0) means no scaling. It never travels in the raw encoding
+	// below — only the self-describing adaptive envelope
+	// (core.EncodeAdaptiveDiff) carries it, set by the link policy engine.
+	StrideScale float64
 }
 
 // Prediction is the server → client mask payload for naive offloading.

@@ -16,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-${BENCH_JSON:-BENCH_pr7.json}}"
-SCENARIOS="${SCENARIOS:-bandwidth-sweep/*,multiclient/c1,alloc/distill-step,compression/diff-codecs,chaos/drop-midstream,fleet/*,backend/*}"
+SCENARIOS="${SCENARIOS:-bandwidth-sweep/*,multiclient/c1,alloc/distill-step,compression/diff-codecs,chaos/drop-midstream,fleet/*,backend/*,loss/*}"
 
 echo "== scenario smoke (${SCENARIOS}) -> ${OUT} =="
 SHADOWTUTOR_PRETRAIN_STEPS="${SHADOWTUTOR_PRETRAIN_STEPS:-120}" \
