@@ -8,6 +8,7 @@
 //
 //	shadowtutor-server -listen 127.0.0.1:7607 -max-sessions 64 -partial=true
 //	shadowtutor-server -shards 4    # sharded serving fabric (internal/fabric)
+//	shadowtutor-server -admin :9090 # live /metrics, /statusz, /tracez, pprof
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/serve"
 	"repro/internal/teacher"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -51,8 +53,27 @@ func main() {
 		reorder     = flag.Float64("reorder", 0, "per-packet reorder probability for the packet layer")
 		lossSeed    = flag.Int64("loss-seed", 1, "seed for the packet layer's loss/reorder draws")
 		adaptive    = flag.Bool("adaptive", false, "run the adaptive link policy: watch each session's measured loss/goodput and switch diff codec, stride scale and FEC at runtime (clients must pass -adaptive)")
+		adminAddr   = flag.String("admin", "", "serve the admin HTTP endpoint (/metrics, /statusz, /tracez, /debug/pprof) on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	// Admin endpoint: bind before anything serves, so a bad address fails
+	// fast; the registry is nil (every record path disabled) unless enabled.
+	var reg *telemetry.Registry
+	var admin *telemetry.Admin
+	if *adminAddr != "" {
+		reg = telemetry.Default
+		var err error
+		admin, err = telemetry.NewAdmin(*adminAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("admin endpoint on http://%s (/metrics /statusz /tracez /debug/pprof)", admin.Addr())
+	}
+	// Admin outlives the drain: in-flight scrapes finish, then the listener
+	// closes (nil-safe when -admin is off; log.Fatal paths skip it, which is
+	// fine — the process is exiting anyway).
+	defer admin.Close(2 * time.Second)
 
 	if *pretrain > 0 {
 		os.Setenv("SHADOWTUTOR_PRETRAIN_STEPS", flag.Lookup("pretrain").Value.String())
@@ -90,6 +111,8 @@ func main() {
 			// shared pretrained base; clients that don't advertise the
 			// capability still receive raw checkpoints.
 			EnvelopeCodec: *envCodec,
+			Telemetry:     reg,
+			ShardIndex:    i,
 			Logf:          log.Printf,
 		}
 		if *adaptive {
@@ -109,6 +132,8 @@ func main() {
 		if _, err := netsim.LossModelByName(*lossModel, *lossSeed, nil); err != nil {
 			log.Fatal(err)
 		}
+		downTotals := &netsim.LinkTotals{}
+		netsim.RegisterLinkTotals(reg, "down", downTotals)
 		var connSeq atomic.Int64
 		ln.SetPacketWrap(func() *netsim.PacketOptions {
 			seed := *lossSeed + connSeq.Add(1)*977
@@ -116,7 +141,7 @@ func main() {
 			if err != nil {
 				return nil
 			}
-			popts := &netsim.PacketOptions{FECGroup: *fec, Loss: loss}
+			popts := &netsim.PacketOptions{FECGroup: *fec, Loss: loss, Totals: downTotals}
 			if *reorder > 0 {
 				popts.Impair = &netsim.Impairment{Seed: seed ^ 0x5eed, ReorderProb: *reorder}
 			}
@@ -130,9 +155,10 @@ func main() {
 
 	if *shards > 1 {
 		router, err := fabric.NewRouter(fabric.Options{
-			Shards: *shards,
-			Shard:  shardOptions,
-			Logf:   log.Printf,
+			Shards:    *shards,
+			Shard:     shardOptions,
+			Telemetry: reg,
+			Logf:      log.Printf,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -24,6 +24,12 @@
 // The scenario path honours -frames, -eval-every and -seed as overrides;
 // -json writes the versioned machine-readable BenchFile that cmd/benchdiff
 // gates CI with.
+//
+// Observability (scenario runs):
+//
+//	stbench -scenario 'fleet/*' -admin 127.0.0.1:9090   # live /metrics, /statusz, /tracez, pprof
+//	stbench -scenario 'loss/*' -progress                # one-line live status on stderr
+//	stbench -scenario 'fleet/*' -sample 250ms -json out.json  # sampled time series in the JSON
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -59,6 +66,9 @@ func main() {
 		scenario   = flag.String("scenario", "", "run registered scenarios matching this comma-separated list of names/globs (e.g. 'bandwidth-sweep/*')")
 		jsonOut    = flag.String("json", "", "with -scenario: write machine-readable metrics JSON to this path")
 		backend    = flag.String("backend", "", "tensor compute backend for every run (default: process default; see tensor.Backends)")
+		adminAddr  = flag.String("admin", "", "with -scenario: serve the admin HTTP endpoint (/metrics, /statusz, /tracez, /debug/pprof) on this address during the run (empty = disabled)")
+		progress   = flag.Bool("progress", false, "with -scenario: print a one-line live status (sessions, fps, loss, sheds) to stderr during the run")
+		sample     = flag.Duration("sample", 0, "with -scenario: poll live telemetry at this period and emit the time series in the metrics JSON (0 = off)")
 	)
 	flag.Parse()
 
@@ -100,6 +110,28 @@ func main() {
 				ov.Seed = *seed
 			}
 		})
+		// Any observability flag instruments the runs on one shared live
+		// registry; -admin serves it over HTTP, -progress renders it inline,
+		// -sample folds its time series into the metrics output.
+		ov.SampleEvery = *sample
+		if *adminAddr != "" || *progress || *sample > 0 {
+			reg := telemetry.New()
+			ov.Telemetry = reg
+			if *adminAddr != "" {
+				admin, err := telemetry.NewAdmin(*adminAddr, reg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("admin endpoint on http://%s (/metrics /statusz /tracez /debug/pprof)", admin.Addr())
+				defer admin.Close(2 * time.Second)
+			}
+			if *progress {
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				go progressLoop(reg, stop, done)
+				defer func() { close(stop); <-done }()
+			}
+		}
 		runScenarios(*scenario, *jsonOut, ov)
 		return
 	}
@@ -276,6 +308,57 @@ func runScenarios(patterns, jsonPath string, ov harness.Overrides) {
 		log.Printf("wrote %d scenario results to %s", len(results), jsonPath)
 	}
 	log.Printf("scenarios done in %v", time.Since(start).Round(time.Second))
+}
+
+// progressLoop renders a one-line live status on stderr twice a second
+// from the run's telemetry registry: active sessions across the tier,
+// aggregate FPS (delta of the client frame counters), pre-FEC link loss,
+// and admission sheds. The line overdraws itself with \r; the final
+// newline lands when the run ends.
+func progressLoop(reg *telemetry.Registry, stop, done chan struct{}) {
+	defer close(done)
+	const period = 500 * time.Millisecond
+	sum := func(snap []telemetry.FamilySnapshot, family string) float64 {
+		total := 0.0
+		for _, f := range snap {
+			if f.Name != family {
+				continue
+			}
+			for _, s := range f.Series {
+				if s.Hist != nil {
+					total += float64(s.Hist.Count)
+				} else {
+					total += s.Value
+				}
+			}
+		}
+		return total
+	}
+	lastFrames, wrote := 0.0, false
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			if wrote {
+				fmt.Fprintln(os.Stderr)
+			}
+			return
+		case <-tick.C:
+			snap := reg.Snapshot()
+			frames := sum(snap, "shadowtutor_client_frames_total")
+			fps := (frames - lastFrames) / period.Seconds()
+			lastFrames = frames
+			lossPct := 0.0
+			if sent := sum(snap, "shadowtutor_link_packets_sent"); sent > 0 {
+				lossPct = 100 * sum(snap, "shadowtutor_link_packets_lost") / sent
+			}
+			fmt.Fprintf(os.Stderr, "\rlive: %d sessions | %.1f fps | %.2f%% loss | %d sheds   ",
+				int(sum(snap, "shadowtutor_sessions_active")), fps,
+				lossPct, int(sum(snap, "shadowtutor_fabric_sheds_total")))
+			wrote = true
+		}
+	}
 }
 
 func fmtF(v float64) string {

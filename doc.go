@@ -78,6 +78,30 @@
 //	go run ./cmd/stbench -frames 600
 //	go run ./cmd/stbench -frames 200 -multiclient 16
 //
+// # Observability
+//
+// Both binaries can serve a live admin HTTP endpoint (-admin, default
+// off): /metrics is the Prometheus text exposition of the process-wide
+// telemetry registry (per-shard session occupancy, sheds, handoffs,
+// distill-step and frame-latency histograms, packet-link counters),
+// /statusz the same snapshot as JSON, /tracez the recent per-session
+// lifecycle event ring, and /debug/pprof the standard profiler:
+//
+//	go run ./cmd/shadowtutor-server -shards 4 -admin 127.0.0.1:9090
+//	curl http://127.0.0.1:9090/metrics
+//	curl http://127.0.0.1:9090/tracez
+//
+// stbench instruments scenario runs the same way, plus a one-line live
+// status (-progress) and sampled time series folded into the metrics
+// JSON (-sample):
+//
+//	go run ./cmd/stbench -scenario 'fleet/*' -admin 127.0.0.1:9090 -progress
+//	go run ./cmd/stbench -scenario 'loss/*' -sample 250ms -json out.json
+//
+// The registry's record path is allocation-free and nil-safe (telemetry
+// off costs a nil check); see internal/telemetry and ARCHITECTURE.md
+// "Observability".
+//
 // # Compute backends
 //
 // All tensor math routes through a pluggable compute backend

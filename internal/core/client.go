@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 	"repro/internal/video"
@@ -65,6 +66,12 @@ type Client struct {
 	// TrackLatency records per-frame wall time into Result.FrameLatencies
 	// (one entry per processed frame), feeding p50/p99 latency metrics.
 	TrackLatency bool
+	// Telemetry, when non-nil, registers live client-side metrics on this
+	// registry: frame/key-frame/stale-frame counters, a frame-latency
+	// histogram, and the current stride gauge. The counters are shared by
+	// every client on the registry (fleet aggregates); the stride gauge is
+	// last-writer-wins across clients.
+	Telemetry *telemetry.Registry
 
 	// Dial, when non-nil, makes the session resumable: after a connection
 	// failure Run keeps going and redials through this callback. Nil keeps
@@ -84,8 +91,31 @@ type Client struct {
 
 	strides []float64 // stride trace accumulated during Run
 
+	// tm holds the metric handles resolved from Telemetry at the top of
+	// Run; all handles are nil (no-op) when Telemetry is nil.
+	tm struct {
+		frames    *telemetry.Counter
+		keyFrames *telemetry.Counter
+		stale     *telemetry.Counter
+		latency   *telemetry.Histogram
+		stride    *telemetry.Gauge
+	}
+
 	baseHashOnce sync.Once
 	baseHash     uint64
+}
+
+// bindTelemetry resolves the client metric handles (registration is
+// idempotent, so fleets of clients share the same series).
+func (c *Client) bindTelemetry() {
+	if c.Telemetry == nil {
+		return
+	}
+	c.tm.frames = c.Telemetry.Counter("shadowtutor_client_frames_total", "Frames inferred across all clients.")
+	c.tm.keyFrames = c.Telemetry.Counter("shadowtutor_client_key_frames_total", "Key frames offloaded to the server across all clients.")
+	c.tm.stale = c.Telemetry.Counter("shadowtutor_client_stale_frames_total", "Frames inferred on stale weights while disconnected.")
+	c.tm.latency = c.Telemetry.Histogram("shadowtutor_client_frame_seconds", "Per-frame wall time (send + infer + eval + apply).", telemetry.DurationBuckets)
+	c.tm.stride = c.Telemetry.Gauge("shadowtutor_client_stride", "Current adaptive key-frame stride (last writer wins across clients).")
 }
 
 // caps returns the capability bits and base hash this client advertises in
@@ -297,6 +327,7 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 		c.Student.SetBackend(bk)
 	}
 	rs := &runState{}
+	c.bindTelemetry()
 	conn, err := c.admit(conn, rs)
 	if err != nil {
 		return err
@@ -421,9 +452,10 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 		return nil
 	}
 
+	trackFrames := c.TrackLatency || c.tm.latency != nil
 	for i := 0; i < n; i++ {
 		var frameStart time.Time
-		if c.TrackLatency {
+		if trackFrames {
 			frameStart = time.Now()
 		}
 		frame := src.Next()
@@ -454,6 +486,7 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 				}
 			} else {
 				c.Result.KeyFrames++
+				c.tm.keyFrames.Inc()
 				h := asyncRecv{ch: make(chan transport.StudentDiff, 1), err: make(chan error, 1)}
 				rs.link.reqs <- h
 				rs.inflight = &h
@@ -464,8 +497,10 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 
 		mask, _ := c.Student.Infer(frame.Image)
 		step++
+		c.tm.frames.Inc()
 		if rs.link == nil {
 			c.Result.StaleFrames++
+			c.tm.stale.Inc()
 		}
 
 		if c.EvalTeacher != nil && (c.EvalEvery <= 1 || i%c.EvalEvery == 0) {
@@ -487,8 +522,12 @@ func (c *Client) Run(conn transport.Conn, src video.Source, n int) error {
 				}
 			}
 		}
-		if c.TrackLatency {
-			c.Result.FrameLatencies = append(c.Result.FrameLatencies, time.Since(frameStart))
+		if trackFrames {
+			lat := time.Since(frameStart)
+			if c.TrackLatency {
+				c.Result.FrameLatencies = append(c.Result.FrameLatencies, lat)
+			}
+			c.tm.latency.Observe(lat.Seconds())
 		}
 	}
 
@@ -673,6 +712,7 @@ func (c *Client) apply(rs *runState, d transport.StudentDiff, stride *float64, u
 		*stride = clampStride(c.Cfg, *stride*d.StrideScale)
 	}
 	c.strides = append(c.strides, *stride)
+	c.tm.stride.Set(*stride)
 	*updated = true
 	return nil
 }

@@ -74,6 +74,16 @@ type Server struct {
 	Observe func() netsim.LinkObservation
 	// SetFEC adjusts the current conn's parity group size (nil = no-op).
 	SetFEC func(int)
+	// OnTrain, when non-nil, observes each distillation step's result just
+	// after it completes — the telemetry hook feeding the distill-step
+	// latency histogram. It runs in Loop, outside the alloc-budgeted
+	// Distiller.Train itself, and must not retain the TrainResult.
+	OnTrain func(TrainResult)
+	// OnPolicy, when non-nil, observes every adaptive-policy decision;
+	// changed reports a hysteresis state transition relative to this
+	// session's previous decision (the first decision is not a
+	// transition). Like the policy itself it survives detach/resume.
+	OnPolicy func(dec netsim.LinkDecision, changed bool)
 
 	// DiffSeq is the sequence number of the last student diff produced
 	// (diffs are numbered 1, 2, …). It survives a detach/resume cycle with
@@ -83,6 +93,11 @@ type Server struct {
 	// non-increasing sequence as a confused resume (a client that
 	// re-attached to the wrong session state).
 	LastKFSeq uint64
+
+	// Policy-state tracking for OnPolicy's changed flag; part of the
+	// detachable session state like DiffSeq.
+	policySeen      bool
+	lastPolicyState netsim.PolicyState
 }
 
 // NewServer builds a server around a student copy and a teacher.
@@ -231,6 +246,9 @@ func (s *Server) Loop(conn transport.Conn) error {
 			frame := video.Frame{Index: int(kf.FrameIndex), Image: kf.Image, Label: kf.Label}
 			label := s.Teacher.Infer(frame)
 			tr := s.Distiller.Train(frame, label)
+			if s.OnTrain != nil {
+				s.OnTrain(tr)
+			}
 			diff := transport.StudentDiff{
 				FrameIndex: kf.FrameIndex,
 				Metric:     tr.Metric,
@@ -245,6 +263,12 @@ func (s *Server) Loop(conn transport.Conn) error {
 					obs = s.Observe()
 				}
 				dec := s.Policy.Decide(obs)
+				if s.OnPolicy != nil {
+					changed := s.policySeen && dec.State != s.lastPolicyState
+					s.OnPolicy(dec, changed)
+				}
+				s.policySeen = true
+				s.lastPolicyState = dec.State
 				if s.SetFEC != nil && dec.FECGroup != 0 {
 					k := dec.FECGroup
 					if k < 0 {

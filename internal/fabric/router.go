@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -26,8 +28,40 @@ type Options struct {
 	// reject. 0 uses each shard's MaxSessions. Resumes are never shed —
 	// the shard already holds their state.
 	Capacity int
+	// Telemetry, when non-nil, registers the router's live routing
+	// counters (routed/sheds/handoffs/migrations), the placement-set
+	// gauge, and shed/drain/migrate trace events. It is also propagated
+	// into every shard's serve.Options (with ShardIndex = i) unless the
+	// Shard factory already set one, so one registry carries the whole
+	// fabric's per-shard occupancy gauges.
+	Telemetry *telemetry.Registry
 	// Logf, when non-nil, receives routing lifecycle lines.
 	Logf func(format string, v ...any)
+}
+
+// routerTelemetry holds the router-level metric handles (nil no-ops when
+// telemetry is off).
+type routerTelemetry struct {
+	routed   *telemetry.Counter
+	sheds    *telemetry.Counter
+	handoffs *telemetry.Counter
+	migrated *telemetry.Counter
+	shards   *telemetry.Gauge
+	trace    *telemetry.TraceRing
+}
+
+func newRouterTelemetry(reg *telemetry.Registry) routerTelemetry {
+	var t routerTelemetry
+	if reg == nil {
+		return t
+	}
+	t.routed = reg.Counter("shadowtutor_fabric_routed_total", "Connections handed to a shard.")
+	t.sheds = reg.Counter("shadowtutor_fabric_sheds_total", "Fresh sessions shed at the admission watermark.")
+	t.handoffs = reg.Counter("shadowtutor_fabric_handoffs_total", "Resumes served by pulling the session from another shard.")
+	t.migrated = reg.Counter("shadowtutor_fabric_migrations_total", "Parked sessions moved by shard drains.")
+	t.shards = reg.Gauge("shadowtutor_fabric_active_shards", "Shards currently in the placement set.")
+	t.trace = reg.Trace()
+	return t
 }
 
 // ShardStats is one shard's view in a router stats snapshot.
@@ -55,6 +89,7 @@ type Stats struct {
 type Router struct {
 	opts   Options
 	shards []*Shard
+	tm     routerTelemetry
 
 	mu        sync.Mutex
 	active    []bool // placement membership; Drain clears a slot
@@ -88,6 +123,7 @@ func NewRouter(opts Options) (*Router, error) {
 		reserved: map[uint64]struct{}{},
 		quit:     make(chan struct{}),
 	}
+	r.tm = newRouterTelemetry(opts.Telemetry)
 	for i := 0; i < opts.Shards; i++ {
 		so := opts.Shard(i)
 		// Partition the fallback ID space: shard i mints only IDs ≡ i
@@ -95,6 +131,10 @@ func NewRouter(opts Options) (*Router, error) {
 		// ID by two different shards.
 		so.IDOffset = uint64(i)
 		so.IDStride = uint64(opts.Shards)
+		so.ShardIndex = i
+		if so.Telemetry == nil {
+			so.Telemetry = opts.Telemetry
+		}
 		m, err := serve.NewManager(so)
 		if err != nil {
 			for j := 0; j < i; j++ {
@@ -105,6 +145,7 @@ func NewRouter(opts Options) (*Router, error) {
 		r.shards[i] = &Shard{Index: i, Manager: m}
 		r.active[i] = true
 	}
+	r.tm.shards.Set(float64(opts.Shards))
 	return r, nil
 }
 
@@ -183,11 +224,14 @@ func (r *Router) routeHello(conn transport.Conn, first transport.Message, hello 
 		}
 		if active >= capacity {
 			r.count(&r.sheds)
+			r.tm.sheds.Inc()
+			r.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvShed, Session: id, Shard: sh.Index, Detail: "watermark"})
 			r.logf("shed hello for session %d: shard %d at watermark (%d active)", id, sh.Index, active)
 			return r.sendRetry(conn, fmt.Sprintf("shard %d at capacity", sh.Index))
 		}
 	}
 	r.count(&r.routed)
+	r.tm.routed.Inc()
 	return sh.HandleFirst(conn, first)
 }
 
@@ -217,6 +261,7 @@ func (r *Router) routeResume(conn transport.Conn, first transport.Message, req t
 						r.restore(owner, req.SessionID, env)
 					} else {
 						r.count(&r.handoffs)
+						r.tm.handoffs.Inc()
 						r.logf("session %d handed off shard %d -> %d", req.SessionID, owner.Index, sh.Index)
 					}
 				}
@@ -228,6 +273,7 @@ func (r *Router) routeResume(conn transport.Conn, first transport.Message, req t
 		}
 	}
 	r.count(&r.routed)
+	r.tm.routed.Inc()
 	return sh.HandleFirst(conn, first)
 }
 
@@ -336,6 +382,8 @@ func (r *Router) Drain(i int) (migrated int, err error) {
 	}
 	r.active[i] = false
 	r.mu.Unlock()
+	r.tm.shards.Set(float64(remaining))
+	r.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvDrain, Shard: i})
 
 	sh := r.shards[i]
 	for _, id := range sh.ParkedIDs() {
@@ -357,6 +405,8 @@ func (r *Router) Drain(i int) (migrated int, err error) {
 			continue
 		}
 		migrated++
+		r.tm.migrated.Inc()
+		r.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvMigrate, Session: id, Shard: target.Index})
 	}
 	r.mu.Lock()
 	r.migrated += int64(migrated)

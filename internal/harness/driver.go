@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/teacher"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 	"repro/internal/video"
@@ -178,6 +180,13 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
+	// Telemetry: instrument the whole run on the caller's registry, or a
+	// private one when only sampling was requested. A nil reg disables every
+	// record path (the metric handles are all nil-safe).
+	reg := spec.Telemetry
+	if reg == nil && spec.SampleEvery > 0 {
+		reg = telemetry.New()
+	}
 	base, err := experiments.FreshStudentFor(cfg)
 	if err != nil {
 		return Metrics{}, err
@@ -195,7 +204,8 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 			perShard = spec.Clients
 		}
 		router, err = fabric.NewRouter(fabric.Options{
-			Shards: spec.Shards,
+			Shards:    spec.Shards,
+			Telemetry: reg,
 			Shard: func(i int) serve.Options {
 				return serve.Options{
 					Cfg:  cfg,
@@ -221,6 +231,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 			EncodeDiff:    enc,
 			EnvelopeCodec: spec.EnvelopeCodec,
 			LinkPolicy:    linkPolicy,
+			Telemetry:     reg,
 		})
 	}
 	if err != nil {
@@ -242,6 +253,8 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 			return Metrics{}, err
 		}
 		downTotals, upTotals = &netsim.LinkTotals{}, &netsim.LinkTotals{}
+		netsim.RegisterLinkTotals(reg, "down", downTotals)
+		netsim.RegisterLinkTotals(reg, "up", upTotals)
 		var acceptSeq atomic.Int64
 		ln.SetPacketWrap(func() *netsim.PacketOptions {
 			popts, err := packetOptions(spec, spec.Seed+0xD0000000+acceptSeq.Add(1)*977, downTotals)
@@ -276,6 +289,31 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	clients := make([]*core.Client, spec.Clients)
 	errs := make([]error, spec.Clients)
 	var wg sync.WaitGroup
+
+	// Time-series capture: a wall-clock ticker polls the registry for the
+	// duration of the run; the sampler itself is steppable so the goroutine
+	// owns the clock. One final sample after the clients drain guarantees at
+	// least one row even for runs shorter than the period.
+	var sampler *telemetry.Sampler
+	var sampleStop, sampleDone chan struct{}
+	if reg != nil && spec.SampleEvery > 0 {
+		sampler = telemetry.NewSampler(reg)
+		sampleStop, sampleDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(sampleDone)
+			tick := time.NewTicker(spec.SampleEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					sampler.Sample()
+				case <-sampleStop:
+					return
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	for c := 0; c < spec.Clients; c++ {
 		wg.Add(1)
@@ -307,6 +345,7 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 				DecodeDiff:   dec,
 				Adaptive:     spec.Adaptive,
 				TrackLatency: true,
+				Telemetry:    reg,
 			}
 			if spec.EnvelopeCodec != "" {
 				// Clients hold the shared base (read-only), so they advertise
@@ -336,6 +375,11 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if sampler != nil {
+		close(sampleStop)
+		<-sampleDone
+		sampler.Sample()
+	}
 	if router != nil {
 		if err := router.Close(); err != nil {
 			return Metrics{}, err
@@ -465,6 +509,36 @@ func Drive(name, family string, spec Spec) (Metrics, error) {
 		if shrink > 0 {
 			m.Extra["envelope_shrink_x"] = shrink
 		}
+	}
+
+	if sampler != nil {
+		m.Timeseries = &Timeseries{
+			IntervalMS: float64(spec.SampleEvery) / float64(time.Millisecond),
+			Series:     sampler.Series(),
+		}
+		if m.Extra == nil {
+			m.Extra = map[string]float64{}
+		}
+		m.Extra["ts_samples"] = float64(sampler.Rows())
+		// Peak concurrent sessions across the tier: sum the per-shard
+		// occupancy gauges row-wise, then take the max row.
+		rows := sampler.Rows()
+		occ := make([]float64, rows)
+		for key, col := range m.Timeseries.Series {
+			if !strings.HasPrefix(key, "shadowtutor_sessions_active") {
+				continue
+			}
+			for i := 0; i < rows && i < len(col); i++ {
+				occ[i] += col[i]
+			}
+		}
+		peak := 0.0
+		for _, v := range occ {
+			if v > peak {
+				peak = v
+			}
+		}
+		m.Extra["ts_peak_active_sessions"] = peak
 	}
 
 	if spec.MeasureAllocs {

@@ -21,9 +21,11 @@ import (
 // sessions served, handoffs, sheds, drain migrations).
 // Version 4 added the packet-layer block (loss model, FEC group, packet
 // counters, loss rate, goodput) for the loss/* families.
+// Version 5 added sampled telemetry time series (the timeseries block plus
+// ts_* Extra summaries) captured by polling the live registry during a run.
 const (
 	Schema        = "shadowtutor-bench"
-	SchemaVersion = 4
+	SchemaVersion = 5
 )
 
 // Metrics is the structured result of one scenario run. Field meanings:
@@ -103,10 +105,28 @@ type Metrics struct {
 	LossRatePct       float64 `json:"loss_rate_pct,omitempty"`
 	GoodputMbps       float64 `json:"goodput_mbps,omitempty"`
 
+	// Timeseries holds sampled live-telemetry series captured during the
+	// run (schema v5): the registry is polled every IntervalMS of wall
+	// time, so scenarios can assert when things happened — a shed storm, a
+	// policy flip, an occupancy collapse — not just end-of-run totals.
+	// Scalar summaries (peaks, sample count) additionally land in Extra
+	// under ts_* keys so benchdiff can gate them. Nil when the scenario
+	// did not enable sampling.
+	Timeseries *Timeseries `json:"timeseries,omitempty"`
+
 	// Extra carries family-specific metrics (ablation columns, codec byte
 	// counts). Keys are stable snake_case; benchdiff treats them as
 	// informational unless given an explicit tolerance ("extra.<key>").
 	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Timeseries is the sampled-registry block of one scenario run. Series
+// keys are Prometheus-style `name{labels}` strings; every series has one
+// value per sampling tick, row-aligned (series appearing mid-run are
+// zero back-filled).
+type Timeseries struct {
+	IntervalMS float64              `json:"interval_ms"`
+	Series     map[string][]float64 `json:"series"`
 }
 
 // BenchFile is the on-disk container cmd/stbench emits and cmd/benchdiff

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -110,6 +111,16 @@ type Spec struct {
 	// Options.LinkPolicy = "adaptive", clients decode adaptive envelopes).
 	// Mutually exclusive with Codec — the policy picks the codec.
 	Adaptive bool
+	// Telemetry, when non-nil, is the live registry the driver instruments
+	// the whole run into (server/fabric, teacher, clients, packet links) —
+	// the hook stbench uses to serve -admin and -progress from a scenario.
+	// Nil with SampleEvery set makes the driver create a private registry
+	// for the run. Nil without SampleEvery disables telemetry entirely.
+	Telemetry *telemetry.Registry
+	// SampleEvery polls the registry at this wall-clock period during the
+	// run and emits the captured series as the metrics timeseries block
+	// (plus ts_* Extra summaries). Zero disables sampling.
+	SampleEvery time.Duration
 }
 
 // usePackets reports whether the spec activates the packet layer (MTU
@@ -272,6 +283,11 @@ type Overrides struct {
 	Frames    int
 	EvalEvery int
 	Seed      int64
+	// Telemetry instruments every run on this registry (see
+	// Spec.Telemetry); SampleEvery enables time-series capture. Both apply
+	// only when the spec itself left them unset.
+	Telemetry   *telemetry.Registry
+	SampleEvery time.Duration
 }
 
 // RunScenario applies overrides and executes the scenario via its custom
@@ -286,6 +302,12 @@ func RunScenario(s Scenario, ov Overrides) ([]Metrics, error) {
 	}
 	if ov.Seed != 0 {
 		spec.Seed = ov.Seed
+	}
+	if spec.Telemetry == nil {
+		spec.Telemetry = ov.Telemetry
+	}
+	if spec.SampleEvery == 0 {
+		spec.SampleEvery = ov.SampleEvery
 	}
 	spec.setDefaults()
 	if s.Run != nil {

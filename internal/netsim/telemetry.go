@@ -1,0 +1,46 @@
+package netsim
+
+import "repro/internal/telemetry"
+
+// RegisterLinkTotals exposes a LinkTotals through a telemetry registry as
+// scrape-time gauge callbacks, labelled by link direction ("down", "up").
+// The packet path itself is untouched — PacketConn already maintains
+// these atomics — so enabling telemetry adds zero cost per packet.
+// Derived series: loss rate (lost/sent, pre-FEC) and the wire:payload
+// overhead ratio. No-op when reg or t is nil.
+func RegisterLinkTotals(reg *telemetry.Registry, dir string, t *LinkTotals) {
+	if reg == nil || t == nil {
+		return
+	}
+	l := telemetry.L("dir", dir)
+	reg.GaugeFunc("shadowtutor_link_packets_sent", "Data packets offered to the link.",
+		func() float64 { return float64(t.Sent.Load()) }, l)
+	reg.GaugeFunc("shadowtutor_link_packets_lost", "Data packets dropped by the loss model (pre-FEC).",
+		func() float64 { return float64(t.Lost.Load()) }, l)
+	reg.GaugeFunc("shadowtutor_link_fec_recoveries", "Lost packets reconstructed from XOR parity.",
+		func() float64 { return float64(t.Recovered.Load()) }, l)
+	reg.GaugeFunc("shadowtutor_link_retransmits", "Packets resent after an RTO.",
+		func() float64 { return float64(t.Retransmits.Load()) }, l)
+	reg.GaugeFunc("shadowtutor_link_parity_packets", "Parity packets emitted by the FEC encoder.",
+		func() float64 { return float64(t.Parity.Load()) }, l)
+	reg.GaugeFunc("shadowtutor_link_payload_bytes", "Application payload bytes carried.",
+		func() float64 { return float64(t.PayloadBytes.Load()) }, l)
+	reg.GaugeFunc("shadowtutor_link_wire_bytes", "Bytes on the wire including framing, parity, and retransmits.",
+		func() float64 { return float64(t.WireBytes.Load()) }, l)
+	reg.GaugeFunc("shadowtutor_link_loss_rate", "Pre-FEC packet loss fraction (lost/sent).",
+		func() float64 {
+			sent := t.Sent.Load()
+			if sent == 0 {
+				return 0
+			}
+			return float64(t.Lost.Load()) / float64(sent)
+		}, l)
+	reg.GaugeFunc("shadowtutor_link_overhead_ratio", "Wire bytes per payload byte (goodput inverse).",
+		func() float64 {
+			payload := t.PayloadBytes.Load()
+			if payload == 0 {
+				return 0
+			}
+			return float64(t.WireBytes.Load()) / float64(payload)
+		}, l)
+}

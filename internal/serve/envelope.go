@@ -14,6 +14,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/resume"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -454,6 +455,8 @@ func (m *Manager) ExportParked(id uint64) ([]byte, error) {
 		return nil, err
 	}
 	m.countEnvelope(len(env), ck, ckBase)
+	m.tm.detached.Set(float64(m.store.Len()))
+	m.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvHandoff, Session: ds.ID, Epoch: uint32(ds.Epoch), Seq: ds.LastSeq, Shard: m.tm.shard, Detail: "export"})
 	m.logf("session %d exported for handoff (epoch %d, %d journaled diffs, %d bytes)",
 		ds.ID, ds.Epoch, ds.Journal.Len(), len(env))
 	return env, nil
@@ -518,6 +521,8 @@ func (m *Manager) ImportParked(envBytes []byte) error {
 	if err != nil {
 		return err
 	}
+	m.tm.detached.Set(float64(m.store.Len()))
+	m.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvHandoff, Session: env.ID, Epoch: uint32(env.Epoch), Seq: env.LastSeq, Shard: m.tm.shard, Detail: "import"})
 	m.logf("session %d imported via handoff (epoch %d, %d journaled diffs)",
 		env.ID, env.Epoch, len(env.Journal))
 	return nil

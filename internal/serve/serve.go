@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/resume"
 	"repro/internal/teacher"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -108,8 +110,59 @@ type Options struct {
 	// survives detach/resume; its link observation rebinds to each new
 	// conn. Mutually exclusive with EncodeDiff.
 	LinkPolicy string
+	// Telemetry, when non-nil, registers this manager's live metrics —
+	// session/detached gauges, lifecycle counters, the distill-step
+	// latency histogram — and records session events into the registry's
+	// trace ring, all labelled shard=ShardIndex. End-of-run Stats are
+	// unaffected; this is the live view the ROADMAP's fabric control
+	// plane reads while sessions are still running.
+	Telemetry *telemetry.Registry
+	// ShardIndex is the shard attribution used in metric labels and trace
+	// events when several managers share one registry (internal/fabric
+	// gives shard i index i). Standalone managers report shard 0.
+	ShardIndex int
 	// Logf, when non-nil, receives session lifecycle lines.
 	Logf func(format string, v ...any)
+}
+
+// managerTelemetry holds the metric handles one manager records into.
+// Every handle is nil (a no-op) when telemetry is disabled, so record
+// sites are unconditional.
+type managerTelemetry struct {
+	shard          int
+	active         *telemetry.Gauge
+	detached       *telemetry.Gauge
+	started        *telemetry.Counter
+	completed      *telemetry.Counter
+	resumeReplays  *telemetry.Counter
+	resumeFulls    *telemetry.Counter
+	evicted        *telemetry.Counter
+	keyFrames      *telemetry.Counter
+	distillSteps   *telemetry.Counter
+	distill        *telemetry.Histogram
+	policySwitches *telemetry.Counter
+	trace          *telemetry.TraceRing
+}
+
+func newManagerTelemetry(reg *telemetry.Registry, shard int) managerTelemetry {
+	t := managerTelemetry{shard: shard}
+	if reg == nil {
+		return t
+	}
+	l := telemetry.L("shard", strconv.Itoa(shard))
+	t.active = reg.Gauge("shadowtutor_sessions_active", "Live sessions attached to this shard.", l)
+	t.detached = reg.Gauge("shadowtutor_sessions_detached", "Sessions parked for resumption on this shard.", l)
+	t.started = reg.Counter("shadowtutor_sessions_started_total", "Fresh sessions admitted.", l)
+	t.completed = reg.Counter("shadowtutor_sessions_completed_total", "Sessions completed (incl. evicted parked ones).", l)
+	t.resumeReplays = reg.Counter("shadowtutor_session_resumes_total", "Sessions re-attached after a drop.", l, telemetry.L("mode", "replay"))
+	t.resumeFulls = reg.Counter("shadowtutor_session_resumes_total", "Sessions re-attached after a drop.", l, telemetry.L("mode", "full"))
+	t.evicted = reg.Counter("shadowtutor_session_evictions_total", "Parked sessions dropped by TTL/capacity/shutdown.", l)
+	t.keyFrames = reg.Counter("shadowtutor_key_frames_total", "Key frames distilled.", l)
+	t.distillSteps = reg.Counter("shadowtutor_distill_steps_total", "Optimisation steps taken.", l)
+	t.distill = reg.Histogram("shadowtutor_distill_step_seconds", "Wall time per distillation step.", telemetry.DurationBuckets, l)
+	t.policySwitches = reg.Counter("shadowtutor_policy_switches_total", "Adaptive link-policy hysteresis transitions.", l)
+	t.trace = reg.Trace()
+	return t
 }
 
 // SessionInfo is a point-in-time view of one active session. Distillation
@@ -223,6 +276,8 @@ type Manager struct {
 	once     sync.Once
 	wg       sync.WaitGroup
 
+	tm managerTelemetry
+
 	mu            sync.Mutex
 	closed        bool
 	nextID        uint64
@@ -275,9 +330,11 @@ func NewManager(opts Options) (*Manager, error) {
 	b, ok := opts.Teacher.(*teacher.Batcher)
 	if !ok {
 		b = teacher.NewBatcher(opts.Teacher, teacher.BatcherOptions{
-			Workers:  opts.BatchWorkers,
-			MaxBatch: opts.MaxBatch,
-			Linger:   opts.Linger,
+			Workers:   opts.BatchWorkers,
+			MaxBatch:  opts.MaxBatch,
+			Linger:    opts.Linger,
+			Telemetry: opts.Telemetry,
+			Shard:     opts.ShardIndex,
 		})
 	}
 	if opts.DrainTimeout == 0 {
@@ -330,6 +387,7 @@ func NewManager(opts Options) (*Manager, error) {
 		conns:    map[transport.Conn]struct{}{},
 		nextID:   opts.IDOffset,
 	}
+	m.tm = newManagerTelemetry(opts.Telemetry, opts.ShardIndex)
 	if opts.ResumeTTL > 0 {
 		m.store = resume.NewStore(resume.Options{
 			TTL:         opts.ResumeTTL,
@@ -458,10 +516,43 @@ func (m *Manager) handleFresh(conn transport.Conn, first transport.Message) erro
 	return m.runSession(conn, id, epoch, srv, journal)
 }
 
+// bindHooks (re)installs the telemetry observers on a session server.
+// Called per attachment — like bindLink — so the closures carry the
+// current session ID and epoch into trace events; the underlying handles
+// are nil no-ops when telemetry is off.
+func (m *Manager) bindHooks(srv *core.Server, id, epoch uint64) {
+	if m.opts.Telemetry == nil {
+		return
+	}
+	tm := &m.tm
+	srv.OnTrain = func(tr core.TrainResult) {
+		tm.keyFrames.Inc()
+		if tr.Steps > 0 {
+			tm.distillSteps.Add(int64(tr.Steps))
+			tm.distill.Observe(tr.StepTime.Seconds() / float64(tr.Steps))
+		}
+	}
+	srv.OnPolicy = func(dec netsim.LinkDecision, changed bool) {
+		if !changed {
+			return
+		}
+		tm.policySwitches.Inc()
+		tm.trace.Record(telemetry.Event{
+			Time:    time.Now(),
+			Kind:    telemetry.EvPolicy,
+			Session: id,
+			Epoch:   uint32(epoch),
+			Shard:   tm.shard,
+			Detail:  dec.State.String(),
+		})
+	}
+}
+
 // runSession drives Loop and routes the ending: clean completion folds
 // stats, a lost connection detaches the session for resumption, a protocol
 // violation discards it.
 func (m *Manager) runSession(conn transport.Conn, id, epoch uint64, srv *core.Server, journal *resume.Journal) error {
+	m.bindHooks(srv, id, epoch)
 	err := srv.Loop(conn)
 	if errors.Is(err, core.ErrConnLost) && m.detach(id, epoch, srv, journal) {
 		m.logf("session %d detached at epoch %d (diff seq %d): %v", id, epoch, srv.DiffSeq, err)
@@ -590,6 +681,9 @@ func (m *Manager) reattach(req transport.Resume) (*session, transport.ResumeAck,
 		started: time.Now(),
 	}
 	m.active[sess.id] = sess
+	m.tm.active.Set(float64(len(m.active)))
+	m.tm.detached.Set(float64(m.store.Len()))
+	m.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvResume, Session: sess.id, Epoch: uint32(sess.epoch), Seq: srv.DiffSeq, Shard: m.tm.shard})
 	return sess, transport.ResumeAck{Epoch: sess.epoch, HeadSeq: srv.DiffSeq}, ""
 }
 
@@ -618,8 +712,10 @@ func (m *Manager) countResume(replay bool) {
 	m.resumed++
 	if replay {
 		m.resumeReplays++
+		m.tm.resumeReplays.Inc()
 	} else {
 		m.resumeFulls++
+		m.tm.resumeFulls.Inc()
 	}
 	m.mu.Unlock()
 }
@@ -661,6 +757,7 @@ func (m *Manager) detach(id, epoch uint64, srv *core.Server, journal *resume.Jou
 		return false
 	}
 	delete(m.active, id)
+	m.tm.active.Set(float64(len(m.active)))
 	m.mu.Unlock()
 	// Accept the previous epoch too: the ack that carried the current one
 	// may have died on the wire with this very drop, leaving the client
@@ -683,6 +780,8 @@ func (m *Manager) detach(id, epoch uint64, srv *core.Server, journal *resume.Jou
 		m.foldStats(srv)
 		return true
 	}
+	m.tm.detached.Set(float64(m.store.Len()))
+	m.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvDetach, Session: id, Epoch: uint32(epoch), Seq: srv.DiffSeq, Shard: m.tm.shard})
 	return true
 }
 
@@ -727,6 +826,9 @@ func (m *Manager) register(requested uint64, srv *core.Server, journal *resume.J
 		}
 	}
 	m.active[id] = &session{id: id, epoch: 1, srv: srv, journal: journal, started: time.Now()}
+	m.tm.started.Inc()
+	m.tm.active.Set(float64(len(m.active)))
+	m.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvSessionStart, Session: id, Epoch: 1, Shard: m.tm.shard})
 	return id, 1
 }
 
@@ -743,6 +845,8 @@ func (m *Manager) unregister(id uint64) {
 	if s, ok := m.active[id]; ok {
 		delete(m.active, id)
 		m.foldStatsLocked(s.srv)
+		m.tm.active.Set(float64(len(m.active)))
+		m.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvSessionEnd, Session: id, Epoch: uint32(s.epoch), Seq: s.srv.DiffSeq, Shard: m.tm.shard})
 	}
 }
 
@@ -756,6 +860,7 @@ func (m *Manager) foldStats(srv *core.Server) {
 
 func (m *Manager) foldStatsLocked(srv *core.Server) {
 	m.served++
+	m.tm.completed.Inc()
 	m.keyFrames += int64(srv.Distiller.TotalTrains)
 	m.distillSteps += int64(srv.Distiller.TotalSteps)
 	m.distillTime += srv.Distiller.TotalStepTime
@@ -767,6 +872,9 @@ func (m *Manager) foldStatsLocked(srv *core.Server) {
 func (m *Manager) foldEvicted(ds *resume.Session) {
 	if srv, ok := ds.State.(*core.Server); ok {
 		m.foldStats(srv)
+		m.tm.evicted.Inc()
+		m.tm.detached.Set(float64(m.store.Len()))
+		m.tm.trace.Record(telemetry.Event{Time: time.Now(), Kind: telemetry.EvEvict, Session: ds.ID, Epoch: uint32(ds.Epoch), Seq: ds.LastSeq, Shard: m.tm.shard})
 		m.logf("session %d evicted from resume store (epoch %d, %d key frames)",
 			ds.ID, ds.Epoch, srv.Distiller.TotalTrains)
 	}

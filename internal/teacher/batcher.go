@@ -1,9 +1,11 @@
 package teacher
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/video"
 )
 
@@ -29,6 +31,13 @@ type BatcherOptions struct {
 	// for more requests (default 200µs). Zero means "use the default";
 	// negative disables lingering entirely.
 	Linger time.Duration
+	// Telemetry, when non-nil, registers live queue metrics — depth gauge,
+	// batch-occupancy histogram, request/batch counters — labelled
+	// shard=Shard. End-of-run BatchStats are unaffected.
+	Telemetry *telemetry.Registry
+	// Shard is the shard attribution for the metric labels (internal/fabric
+	// gives shard i index i).
+	Shard int
 }
 
 func (o *BatcherOptions) setDefaults() {
@@ -104,6 +113,12 @@ type Batcher struct {
 
 	statMu sync.Mutex
 	stats  BatchStats
+
+	// Live telemetry handles; nil (no-op) when Telemetry is unset.
+	tmDepth     *telemetry.Gauge
+	tmOccupancy *telemetry.Histogram
+	tmRequests  *telemetry.Counter
+	tmBatches   *telemetry.Counter
 }
 
 // NewBatcher wraps t in a shared inference queue and starts its collector
@@ -119,6 +134,13 @@ func NewBatcher(t Teacher, opts BatcherOptions) *Batcher {
 	}
 	if bi, ok := t.(BatchInferrer); ok {
 		b.bi = bi
+	}
+	if reg := opts.Telemetry; reg != nil {
+		l := telemetry.L("shard", strconv.Itoa(opts.Shard))
+		b.tmDepth = reg.Gauge("shadowtutor_teacher_queue_depth", "Inference requests enqueued or batched but not yet executed.", l)
+		b.tmOccupancy = reg.Histogram("shadowtutor_teacher_batch_size", "Frames per teacher invocation.", telemetry.SizeBuckets, l)
+		b.tmRequests = reg.Counter("shadowtutor_teacher_requests_total", "Frames labelled through the queue.", l)
+		b.tmBatches = reg.Counter("shadowtutor_teacher_batches_total", "Teacher invocations.", l)
 	}
 	b.wg.Add(1)
 	go b.collect()
@@ -149,6 +171,10 @@ func (b *Batcher) Infer(f video.Frame) []int32 {
 	r := batchReq{frame: f, out: make(chan []int32, 1)}
 	select {
 	case b.reqs <- r:
+		// The matching decrement is in run(): every request that entered
+		// the queue is eventually executed there (the shutdown drain
+		// included), even when this caller races to the direct path.
+		b.tmDepth.Add(1)
 		select {
 		case mask := <-r.out:
 			return mask
@@ -296,6 +322,10 @@ func (b *Batcher) run(batch []batchReq) {
 		b.stats.MaxBatch = len(batch)
 	}
 	b.statMu.Unlock()
+	b.tmDepth.Add(float64(-len(batch)))
+	b.tmOccupancy.Observe(float64(len(batch)))
+	b.tmRequests.Add(int64(len(batch)))
+	b.tmBatches.Inc()
 
 	for i, r := range batch {
 		r.out <- masks[i]

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// writeTracez renders the retained trace events (oldest first) plus the
+// lifetime total, so a scrape can tell how much history the ring evicted.
+func writeTracez(w http.ResponseWriter, t *TraceRing) {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}{Total: t.Total(), Events: events})
+}
+
+// Admin is the operator HTTP endpoint: Prometheus text at /metrics, a
+// JSON snapshot at /statusz, the trace ring at /tracez, and net/http/pprof
+// under /debug/pprof/. The listener is bound synchronously inside
+// NewAdmin — a bad address fails before the process starts serving
+// traffic — and Close drains in-flight scrapes with a timeout so it can
+// ride along with the server's graceful shutdown.
+type Admin struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewAdmin binds addr and starts serving reg in a background goroutine.
+// The returned Admin's Addr reports the bound address (useful with
+// ":0"). The caller owns shutdown via Close.
+func NewAdmin(addr string, reg *Registry) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeTracez(w, reg.Trace())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a := &Admin{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		_ = a.srv.Serve(ln)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *Admin) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close gracefully shuts the endpoint down, waiting up to timeout for
+// in-flight requests before forcing connections closed. Safe on nil.
+func (a *Admin) Close(timeout time.Duration) error {
+	if a == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := a.srv.Shutdown(ctx)
+	if err != nil {
+		_ = a.srv.Close()
+	}
+	<-a.done
+	return err
+}

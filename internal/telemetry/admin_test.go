@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("adm_total", "Things.", L("shard", "2")).Add(9)
+	reg.Trace().Record(Event{Time: time.Unix(1, 0), Kind: EvHandoff, Session: 5, Shard: 2, Detail: "1->2"})
+
+	a, err := NewAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close(time.Second)
+	base := "http://" + a.Addr()
+
+	body, ct := scrape(t, base+"/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, `adm_total{shard="2"} 9`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, ct = scrape(t, base+"/statusz")
+	if ct != "application/json" {
+		t.Errorf("/statusz content-type = %q", ct)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal([]byte(body), &fams); err != nil {
+		t.Fatalf("/statusz not valid JSON: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Name != "adm_total" || fams[0].Series[0].Value != 9 {
+		t.Errorf("/statusz = %+v", fams)
+	}
+
+	body, _ = scrape(t, base+"/tracez")
+	var tz struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tz); err != nil {
+		t.Fatalf("/tracez not valid JSON: %v", err)
+	}
+	if tz.Total != 1 || len(tz.Events) != 1 || tz.Events[0].Kind != EvHandoff || tz.Events[0].Detail != "1->2" {
+		t.Errorf("/tracez = %+v", tz)
+	}
+
+	if body, _ = scrape(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+// TestAdminBindFailure: a bad address must fail at construction (bind
+// before serving traffic), not asynchronously.
+func TestAdminBindFailure(t *testing.T) {
+	a, err := NewAdmin("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close(time.Second)
+	if _, err := NewAdmin(a.Addr(), New()); err == nil {
+		t.Fatal("second bind of the same address should fail synchronously")
+	}
+}
+
+func TestAdminGracefulClose(t *testing.T) {
+	a, err := NewAdmin("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Addr()
+	if err := a.Close(time.Second); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("endpoint still serving after Close")
+	}
+	// Close is idempotent-ish on nil and must not panic on nil receiver.
+	(*Admin)(nil).Close(0)
+	if (*Admin)(nil).Addr() != "" {
+		t.Error("nil Admin Addr should be empty")
+	}
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): `# HELP`/`# TYPE` headers per family,
+// cumulative `_bucket{le=...}` series plus `_sum`/`_count` for
+// histograms. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if s.Hist != nil {
+				if err := writePromHist(w, f.Name, s.Labels, s.Hist); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, braced(s.Labels), formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLE splices an `le` label into an existing rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writePromHist(w io.Writer, name, labels string, h *HistSnapshot) error {
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, formatFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), cum)
+	return err
+}
+
+// WriteJSON renders the snapshot as indented JSON — the /statusz body.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []FamilySnapshot{}
+	}
+	return enc.Encode(snap)
+}
+
+// Sampler captures periodic rows of every scalar series in a registry
+// into named time series. It is deliberately steppable — callers own the
+// clock and call Sample when a row should be taken — so it works under
+// both wall-clock tickers and the harness's virtual time. Histograms
+// contribute their running _count and _sum as two scalar series.
+type Sampler struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	series map[string][]float64
+	rows   int
+}
+
+// NewSampler returns a sampler over reg. A nil registry yields a sampler
+// whose Sample is a no-op.
+func NewSampler(reg *Registry) *Sampler {
+	return &Sampler{reg: reg, series: make(map[string][]float64)}
+}
+
+// Sample appends one row: the current value of every scalar series,
+// keyed `name{labels}`. Series that appear after sampling started are
+// back-filled with zeros so all series stay row-aligned.
+func (s *Sampler) Sample() {
+	if s == nil || s.reg == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	record := func(key string, v float64) {
+		col := s.series[key]
+		if col == nil {
+			col = make([]float64, s.rows)
+		}
+		s.series[key] = append(col, v)
+	}
+	for _, f := range snap {
+		for _, ser := range f.Series {
+			key := f.Name + braced(ser.Labels)
+			if ser.Hist != nil {
+				record(key+"_count", float64(ser.Hist.Count))
+				record(key+"_sum", ser.Hist.Sum)
+				continue
+			}
+			record(key, ser.Value)
+		}
+	}
+	s.rows++
+	// Pad series that existed before but vanished from the snapshot
+	// (cannot happen today — families are never unregistered — but keeps
+	// the row-alignment invariant local and obvious).
+	for k, col := range s.series {
+		if len(col) < s.rows {
+			s.series[k] = append(col, 0)
+		}
+	}
+}
+
+// Rows returns the number of samples taken.
+func (s *Sampler) Rows() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// Series returns a copy of the captured time series.
+func (s *Sampler) Series() map[string][]float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]float64, len(s.series))
+	for k, v := range s.series {
+		c := make([]float64, len(v))
+		copy(c, v)
+		out[k] = c
+	}
+	return out
+}
