@@ -28,10 +28,12 @@ import (
 // reference backend's single fused loop, which costs one pooled-closure
 // allocation per conv — bounded and size-independent, so it gets its own
 // slightly larger distill budgets rather than slack in the shared ones.
+// The device backend forwards every per-sample kernel to vec (only the
+// batched inference entry points differ), so its budgets are vec's.
 var (
-	inferAllocBudget          = map[string]float64{"reference": 90, "vec": 90}
-	distillPartialAllocBudget = map[string]float64{"reference": 300, "vec": 360}
-	distillFullAllocBudget    = map[string]float64{"reference": 460, "vec": 500}
+	inferAllocBudget          = map[string]float64{"reference": 90, "vec": 90, "device": 90}
+	distillPartialAllocBudget = map[string]float64{"reference": 300, "vec": 360, "device": 360}
+	distillFullAllocBudget    = map[string]float64{"reference": 460, "vec": 500, "device": 500}
 )
 
 // allocStudent builds a small-but-real student and one frame without
@@ -88,6 +90,31 @@ func TestAllocBudgetStudentInference(t *testing.T) {
 				t.Fatalf("student inference (%s) allocates %.0f/op, budget %.0f — the zero-allocation hot path regressed", name, got, budget)
 			}
 		})
+	}
+}
+
+// TestAllocBudgetTeacherInferBatch pins the batched serving path all the
+// way to zero: once the workspace pool is warm and the weights sit in the
+// device handle's resident packed panels, a steady-state InferBatch must
+// not allocate at all — every batched kernel is a pack-cache hit into
+// pooled scratch, and the mask buffers are recycled across calls.
+func TestAllocBudgetTeacherInferBatch(t *testing.T) {
+	skipUnderRace(t)
+	defer tensor.SetWorkers(tensor.SetWorkers(1))
+	dev := tensor.NewDevice()
+	s, frame := allocStudent(t)
+	s.SetBackend(dev)
+	imgs := make([]*tensor.Tensor, 8)
+	for i := range imgs {
+		imgs[i] = frame.Image
+	}
+	got := measureAllocs(func() { s.InferBatch(imgs) })
+	st := dev.Stats()
+	if st.Packs == 0 || st.Hits == 0 {
+		t.Fatalf("resident pack cache not exercised: %+v", st)
+	}
+	if got != 0 {
+		t.Fatalf("batched inference (device) allocates %.0f/op after pack warm-up; the resident-panel path must be allocation-free", got)
 	}
 }
 

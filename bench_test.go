@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/netsim"
+	"repro/internal/teacher"
 	"repro/internal/tensor"
 	"repro/internal/video"
 )
@@ -223,6 +224,40 @@ func BenchmarkStudentInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		student.Infer(frame.Image)
+	}
+}
+
+// BenchmarkTeacherInferBatch measures the CNN teacher's fused batched
+// forward on the resident packed-weight device backend at batch 1 vs 16 —
+// the per-frame cost the batched serving path pays, against which the
+// backend/teacher-batched scenario gates its ≥2x contract.
+func BenchmarkTeacherInferBatch(b *testing.B) {
+	gen, err := video.NewGenerator(video.CategoryConfig(video.Category{Camera: video.Moving, Scenery: video.Street}, 29))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := make([]video.Frame, 16)
+	for i := range frames {
+		frames[i] = gen.Next()
+	}
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			tch := teacher.NewCNNTeacher(31)
+			bk, err := tensor.BackendByName("device")
+			if err != nil {
+				b.Fatal(err)
+			}
+			tch.SetBackend(bk)
+			batchFrames := frames[:batch]
+			tch.InferBatch(batchFrames) // warm-up: pools + packed panels
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tch.InferBatch(batchFrames)
+			}
+			b.StopTimer()
+			perFrame := b.Elapsed().Seconds() * 1e3 / float64(b.N*batch)
+			b.ReportMetric(perFrame, "ms/frame")
+		})
 	}
 }
 

@@ -105,6 +105,19 @@ var DefaultChecks = map[string]Check{
 	"extra.distill_speedup_x":         {HigherBetter, 0.25},
 	"extra.reference_distill_step_ms": {Informational, 0},
 
+	// Batched-teacher contract (backend/teacher-batched). The ratio is the
+	// PR 10 contract: a fused batch-16 teacher forward on the resident
+	// packed-weight device backend must stay ≥2× over the per-frame loop.
+	// The tolerance floors the gate relative to the committed baseline (see
+	// ci/bench_baseline.json); losing the resident pack cache or the fused
+	// CNHW lowering collapses the ratio toward 1× and trips immediately.
+	// The absolute per-frame latencies are machine-speed noise, and the
+	// batch size is part of the scenario definition.
+	"extra.teacher_batch_speedup_x": {HigherBetter, 0.25},
+	"extra.teacher_infer_loop_ms":   {Informational, 0},
+	"extra.teacher_infer_batch_ms":  {Informational, 0},
+	"extra.teacher_batch_size":      {BothWays, 0},
+
 	// Packet-layer metrics (loss families). The measured loss rate is a
 	// deterministic function of the seeded loss model and the packet count,
 	// but the packet count itself moves with key-frame timing, so the gate

@@ -64,6 +64,11 @@ type Student struct {
 	inferCtx *ForwardCtx
 	maskBuf  []int32
 
+	// batchCtx is the reusable batched-inference state behind InferBatch
+	// (batch.go): one workspace per batched pass plus recycled mask
+	// buffers.
+	batchCtx *batchCtx
+
 	// backend, when non-nil, pins the compute backend used by Infer's
 	// private workspace (training passes ride the caller's ForwardCtx
 	// workspace instead). nil uses the process default.
@@ -76,6 +81,7 @@ type Student struct {
 func (s *Student) SetBackend(b tensor.Backend) {
 	s.backend = b
 	s.inferCtx = nil
+	s.batchCtx = nil
 }
 
 // NewStudent builds a freshly initialised student from cfg using rng.

@@ -47,6 +47,7 @@ func (s *SGD) Step(params []Param) {
 		}
 		if s.Momentum == 0 {
 			tensor.AxpyInto(p.Value, -s.LR, p.Grad)
+			p.Value.BumpVersion()
 			continue
 		}
 		v := s.velocity[p.Name]
@@ -58,6 +59,7 @@ func (s *SGD) Step(params []Param) {
 			v.Data[i] = s.Momentum*v.Data[i] + p.Grad.Data[i]
 			p.Value.Data[i] -= s.LR * v.Data[i]
 		}
+		p.Value.BumpVersion()
 	}
 }
 
@@ -107,6 +109,9 @@ func (a *Adam) Step(params []Param) {
 			vhat := v.Data[i] / bc2
 			p.Value.Data[i] -= a.LR * mhat / (float32(math.Sqrt(float64(vhat))) + a.Epsilon)
 		}
+		// Invalidate any packed-panel caches keyed to the old weights (the
+		// device backend repacks lazily on the next batched kernel).
+		p.Value.BumpVersion()
 	}
 }
 

@@ -126,6 +126,7 @@ func init() {
 	vec := &vecBackend{}
 	RegisterBackend(ref)
 	RegisterBackend(vec)
+	RegisterBackend(NewDevice())
 	defBackend = vec
 	if name := os.Getenv("SHADOWTUTOR_BACKEND"); name != "" {
 		b, err := BackendByName(name)

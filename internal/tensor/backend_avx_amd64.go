@@ -27,6 +27,15 @@ func axpy4AVX(dst []float32, a0, a1, a2, a3 float32, x0, x1, x2, x3 []float32)
 //go:noescape
 func saxpyAVX(dst []float32, a float32, x []float32)
 
+//go:noescape
+func packTile4x16AVX(c []float32, ldc int, ap, b []float32, ldb, nq, nt int, load bool)
+
+//go:noescape
+func packTile4x24AVX(c []float32, ldc int, ap, b []float32, ldb, nq, nt int, load bool)
+
+//go:noescape
+func reluAVX(d []float32)
+
 func init() {
 	if !detectAVX() || os.Getenv("SHADOWTUTOR_NOAVX") != "" {
 		return
@@ -35,6 +44,10 @@ func init() {
 	dot1f = dotAVX
 	axpy4f = axpy4AVX
 	saxpyf = saxpyAVX
+	reluf = reluAVX
+	packTilef = packTile4x16AVX
+	packTile24f = packTile4x24AVX
+	packMicroOK = true
 	vecKernelISA = "avx2+fma"
 }
 

@@ -26,12 +26,40 @@ var (
 	dot1f        = sdot
 	axpy4f       = axpy4
 	saxpyf       = saxpy
+	reluf        = reluGo
 	vecKernelISA = "portable"
+
+	// packTilef and packTile24f are the register-blocked packed-panel GEMM
+	// micro-kernels (packTile4x16AVX / packTile4x24AVX on capable amd64):
+	// a 4x16 and a 4x24 C tile respectively. The 24-wide tile is the
+	// workhorse — its twelve FMA chains hide FMA latency where the 16-wide
+	// tile's eight cannot — and the 16-wide tile handles column remainders.
+	// nil means unavailable, and the device backend's batched convolutions
+	// fall back to the axpy packed forms. packMicroOK caches the nil check
+	// for the hot dispatch.
+	packTilef   func(c []float32, ldc int, ap, b []float32, ldb, nq, nt int, load bool)
+	packTile24f func(c []float32, ldc int, ap, b []float32, ldb, nq, nt int, load bool)
+	packMicroOK = false
 )
 
 // VecKernelISA reports which instruction set the vec backend's microkernels
 // were selected for ("portable" or "avx2+fma"), for logs and bench output.
 func VecKernelISA() string { return vecKernelISA }
+
+// reluGo is the portable in-place ReLU kernel behind ReLUFlat.
+func reluGo(d []float32) {
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+}
+
+// ReLUFlat clamps d to max(d[i], 0) in place using the selected ReLU
+// kernel (32-lane AVX on capable amd64, a scalar loop otherwise). The AVX
+// kernel passes NaN and -0 through unchanged where the scalar `v < 0` test
+// also leaves them; the two differ at most in the sign of a zero.
+func ReLUFlat(d []float32) { reluf(d) }
 
 func (vecBackend) MatMulInto(dst, a, b []float32, m, n, k int, accumulate bool) {
 	vecGemmAxpy(dst, a, b, m, n, k, k, 1, accumulate)
@@ -238,7 +266,9 @@ func (vecBackend) Conv2DBackwardWS(ws *Workspace, x, w, gy *Tensor, s ConvSpec, 
 // vecIm2colT lowers a CHW input into the transposed im2col layout
 // dd[(ch*KH*KW + ky*KW + kx)*hw + oy*ow + ox]. Rows are independent, and
 // for stride-1 each (row, oy) pair is one contiguous copy of the input with
-// the padding edges cleared.
+// the padding edges cleared. The per-plane body is shared with the batched
+// lowerings (batch.go), so batched and per-sample columns are identical by
+// construction.
 func vecIm2colT(dd []float32, x *Tensor, s ConvSpec, oh, ow int) {
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	xd := x.Data
@@ -248,41 +278,7 @@ func vecIm2colT(dd []float32, x *Tensor, s ConvSpec, oh, ow int) {
 		for p := plo; p < phi; p++ {
 			ch, r := p/kk, p%kk
 			ky, kx := r/s.KW, r%s.KW
-			base := ch * h * w
-			for oy := 0; oy < oh; oy++ {
-				iy := oy*s.SH - s.PH + ky
-				drow := dd[p*hw+oy*ow : p*hw+(oy+1)*ow]
-				if iy < 0 || iy >= h {
-					clear(drow)
-					continue
-				}
-				src := base + iy*w
-				if s.SW == 1 {
-					off := kx - s.PW // ix = ox + off
-					lo, hi := 0, ow
-					if -off > lo {
-						lo = -off
-					}
-					if w-off < hi {
-						hi = w - off
-					}
-					if hi < lo {
-						hi = lo
-					}
-					clear(drow[:lo])
-					copy(drow[lo:hi], xd[src+off+lo:src+off+hi])
-					clear(drow[hi:])
-					continue
-				}
-				for ox := 0; ox < ow; ox++ {
-					ix := ox*s.SW - s.PW + kx
-					if ix < 0 || ix >= w {
-						drow[ox] = 0
-					} else {
-						drow[ox] = xd[src+ix]
-					}
-				}
-			}
+			im2colPlaneT(dd[p*hw:(p+1)*hw], xd[ch*h*w:(ch+1)*h*w], h, w, s, oh, ow, ky, kx)
 		}
 	})
 }

@@ -1,0 +1,794 @@
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// This file adds the batched-inference capability layer on top of the
+// Backend interface: optional interfaces a backend may implement
+// (BatchBackend, WeightPacker), the packed panel-blocked weight layout the
+// batched GEMM kernels consume (PackedWeights), and package-level wrappers
+// that validate shapes and fall back to per-sample loops for backends that
+// do not implement the capabilities.
+//
+// Batched activation layout
+//
+// A batch of N same-shape CHW activations is stored channel-major as one
+// rank-4 tensor [C, N, H, W] ("CNHW"): channel ch of sample i is the
+// contiguous plane data[(ch*N+i)*H*W : (ch*N+i+1)*H*W]. This is exactly the
+// row-major output of the batched im2col GEMM ([OC, CKK] x [CKK, N*OH*OW]
+// -> [OC, N*OH*OW]), so convolution layers chain with no inter-layer
+// transposes; channel concatenation is contiguous block copies; batch
+// normalisation, bias and ReLU operate on contiguous length-N*H*W channel
+// rows; and a 1x1 stride-1 unpadded convolution needs no lowering at all
+// because the CNHW tensor viewed as [C, N*H*W] already IS its im2col
+// matrix.
+//
+// Numerics: on the reference backend the batched forms ARE the per-sample
+// loop (bitwise by construction), and the vec backend's batched kernels
+// accumulate every output element with the same per-element reduction
+// order (ascending gemmKC panels, ascending 4-wide quads through axpy4f
+// with the same pairwise grouping, identical zero-skips) as its per-sample
+// kernels, so a vec batched forward is bitwise identical to the vec
+// per-sample loop for any worker count. The device backend instead runs
+// the register-blocked micro-kernel (gemmPackedMicro) over the same packed
+// panels: its per-element order is a single sequential FMA chain in
+// ascending-k order — still fully deterministic across worker counts and
+// runs, but a different rounding order than axpy4f's pairwise groups, so
+// device batched results agree with the looped forward to the parity
+// suite's k-scaled ulp tolerance rather than bitwise (and exactly bitwise
+// when the micro-kernel is unavailable, e.g. under SHADOWTUTOR_NOAVX).
+
+// BatchBackend is the optional capability interface for backends that can
+// run one kernel over a whole batch. Conv2DBatchWS lowers N same-shape CHW
+// inputs into a single im2col GEMM with N*OH*OW output columns;
+// Conv2DBatchCNHWWS is the same fused convolution applied to an
+// already-batched [C, N, H, W] activation (the layer-chaining form);
+// MatMulBatchInto multiplies a batch of A matrices against one shared B.
+// Backends without this interface are served by per-sample fallback loops
+// in the package-level wrappers.
+type BatchBackend interface {
+	Backend
+	Conv2DBatchWS(ws *Workspace, xs []*Tensor, w, b *Tensor, s ConvSpec) *Tensor
+	Conv2DBatchCNHWWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor
+	MatMulBatchInto(dst, a, b []float32, batch, m, n, k int, accumulate bool)
+}
+
+// WeightPacker is the optional capability interface for backends whose
+// batched GEMM kernels consume a packed weight layout. Pack produces a
+// panel-blocked, cache-aligned copy of a weight matrix stamped with the
+// source tensor's Version for invalidation (the device backend keys its
+// resident panel cache on tensor identity + version).
+type WeightPacker interface {
+	Pack(w *Tensor) *PackedWeights
+}
+
+// packMR is the GEMM micro-kernel row-block height: the packed layout
+// interleaves packMR weight rows so one pass over a B panel updates packMR
+// destination rows, dividing B traffic by packMR.
+const packMR = 4
+
+// packNB is the column tile of the packed GEMM's axpy forms: B panels of
+// gemmKC x packNB floats (512 KiB) stay cache-resident while every row
+// block streams against them. (The micro-kernel path tiles columns by the
+// tighter ncMicro instead; packNB and gemmKC are pinned by the vec
+// backend's bitwise per-sample/batched contract.)
+const packNB = 512
+
+// packBlockGrain is the Parallel grain in 4-row blocks (2 blocks = 8 rows,
+// matching gemmRowGrain).
+const packBlockGrain = 2
+
+// PackedWeights is a weight matrix [rows, k] repacked for the batched GEMM
+// micro-kernel: rows are grouped into blocks of packMR, and within a block
+// the coefficients are stored quad-major — for each aligned group of four k
+// positions, 4x4 floats laid out row-by-row (missing rows of a ragged final
+// block are zero-padded), followed by the k%4 tail columns at four floats
+// each. Every coefficient a kernel row-block step needs is therefore one or
+// two cache lines. The version tag records the source tensor's Version at
+// pack time so caches can invalidate when an optimizer bumps it.
+type PackedWeights struct {
+	rows, k int
+	version uint64
+	data    []float32 // aligned view into raw backing storage
+}
+
+// Rows returns the packed matrix's row count.
+func (p *PackedWeights) Rows() int { return p.rows }
+
+// K returns the packed matrix's reduction length.
+func (p *PackedWeights) K() int { return p.k }
+
+// Version returns the source tensor's Version at pack time.
+func (p *PackedWeights) Version() uint64 { return p.version }
+
+// packedBlockStride is the float count of one packMR row block: k4*4 quad
+// floats plus (k-k4)*4 tail floats = 4*k.
+func packedBlockStride(k int) int { return 4 * k }
+
+// packedSize returns the total float count of the packed layout.
+func packedSize(rows, k int) int {
+	return (rows + packMR - 1) / packMR * packedBlockStride(k)
+}
+
+// newPackedWeights allocates a PackedWeights with its data 64-byte aligned
+// (cache-line aligned) inside a slightly oversized backing slice.
+func newPackedWeights(rows, k int, version uint64) *PackedWeights {
+	n := packedSize(rows, k)
+	raw := make([]float32, n+16)
+	off := 0
+	if n > 0 {
+		addr := uintptr(unsafe.Pointer(&raw[0]))
+		off = int(((64 - addr%64) % 64) / 4)
+	}
+	return &PackedWeights{rows: rows, k: k, version: version, data: raw[off : off+n]}
+}
+
+// packWeightsInto writes the packed layout of wd (row-major [rows, k]) into
+// pd, which must have packedSize(rows, k) elements. Rows past the end of a
+// ragged final block are zero-filled so kernel reads of a dirty buffer are
+// always defined.
+func packWeightsInto(pd, wd []float32, rows, k int) {
+	k4 := k &^ 3
+	bs := packedBlockStride(k)
+	nb := (rows + packMR - 1) / packMR
+	for ib := 0; ib < nb; ib++ {
+		base := ib * bs
+		for r := 0; r < packMR; r++ {
+			i := ib*packMR + r
+			if i >= rows {
+				for q := 0; q < k4/4; q++ {
+					o := base + q*16 + r*4
+					pd[o], pd[o+1], pd[o+2], pd[o+3] = 0, 0, 0, 0
+				}
+				for t := 0; t < k-k4; t++ {
+					pd[base+4*k4+t*4+r] = 0
+				}
+				continue
+			}
+			row := wd[i*k : (i+1)*k]
+			for q := 0; q < k4/4; q++ {
+				o := base + q*16 + r*4
+				pd[o], pd[o+1], pd[o+2], pd[o+3] = row[4*q], row[4*q+1], row[4*q+2], row[4*q+3]
+			}
+			for t := 0; t < k-k4; t++ {
+				pd[base+4*k4+t*4+r] = row[k4+t]
+			}
+		}
+	}
+}
+
+// Pack implements WeightPacker for the vec backend: a fresh cache-aligned
+// packed copy of w treated as a [Dim(0), Len()/Dim(0)] matrix.
+func (vecBackend) Pack(w *Tensor) *PackedWeights {
+	rows := w.Dim(0)
+	k := w.Len() / rows
+	pw := newPackedWeights(rows, k, w.Version())
+	packWeightsInto(pw.data, w.Data, rows, k)
+	return pw
+}
+
+// gemmAxpyPacked computes cd [m, n] (+)= packed(A) x bd [k, n] where pd is
+// the packed layout of A [m, k]. Column tiles of packNB keep the streamed B
+// panel L2-resident, and each packMR row block reuses that panel packMR
+// times. The per-element accumulation order (ascending gemmKC panels,
+// ascending quads via axpy4f, tail via saxpyf, identical zero-skips) is
+// exactly vecGemmAxpy's, so results are bitwise identical to the unpacked
+// kernel — and therefore to the per-sample conv forward — for any worker
+// count or tile size.
+func gemmAxpyPacked(cd, pd, bd []float32, m, n, k int, accumulate bool) {
+	if !accumulate && k == 0 {
+		clear(cd[:m*n])
+		return
+	}
+	if k == 0 || m == 0 || n == 0 {
+		return
+	}
+	nb := (m + packMR - 1) / packMR
+	if Workers() <= 1 || nb < 2*packBlockGrain {
+		gemmAxpyPackedRange(cd, pd, bd, m, n, n, n, k, accumulate, 0, nb)
+		return
+	}
+	Parallel(nb, packBlockGrain, func(lo, hi int) {
+		gemmAxpyPackedRange(cd, pd, bd, m, n, n, n, k, accumulate, lo, hi)
+	})
+}
+
+// gemmAxpyPackedRange runs the axpy packed GEMM over row blocks
+// [blo, bhi) and a column sub-range: ncols columns starting at cd and bd,
+// whose rows have strides ldc and ldb (all three equal to the full column
+// count except when a caller addresses a column window of a wider C, as
+// the device backend's sample-grouped convolutions do). It is a top-level
+// function (not a closure) so the single-worker dispatch above stays
+// allocation-free.
+func gemmAxpyPackedRange(cd, pd, bd []float32, m, ncols, ldc, ldb, k int, accumulate bool, blo, bhi int) {
+	for jb := 0; jb < ncols; jb += packNB {
+		je := jb + packNB
+		if je > ncols {
+			je = ncols
+		}
+		gemmAxpyPackedSpan(cd, pd, bd, m, ldc, ldb, k, accumulate, blo, bhi, jb, je)
+	}
+}
+
+// gemmAxpyPackedSpan is the axpy packed-GEMM body over row blocks
+// [blo, bhi) and the column span [jb, je): the building block of both the
+// axpy range above and the micro-kernel driver's edge cases (column
+// remainders narrower than a tile, the ragged final row block).
+func gemmAxpyPackedSpan(cd, pd, bd []float32, m, ldc, ldb, k int, accumulate bool, blo, bhi, jb, je int) {
+	k4 := k &^ 3
+	bs := packedBlockStride(k)
+	for kb := 0; kb < k; kb += gemmKC {
+		ke := kb + gemmKC
+		if ke > k {
+			ke = k
+		}
+		qend := ke
+		if qend > k4 {
+			qend = k4
+		}
+		tlo := kb
+		if tlo < k4 {
+			tlo = k4
+		}
+		for ib := blo; ib < bhi; ib++ {
+			base := ib * bs
+			rmax := m - ib*packMR
+			if rmax > packMR {
+				rmax = packMR
+			}
+			for r := 0; r < rmax; r++ {
+				i := ib*packMR + r
+				crow := cd[i*ldc+jb : i*ldc+je]
+				if kb == 0 && !accumulate {
+					clear(crow)
+				}
+				for p := kb; p+3 < qend; p += 4 {
+					o := base + (p>>2)*16 + r*4
+					a0, a1, a2, a3 := pd[o], pd[o+1], pd[o+2], pd[o+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					axpy4f(crow, a0, a1, a2, a3,
+						bd[p*ldb+jb:p*ldb+je], bd[(p+1)*ldb+jb:(p+1)*ldb+je],
+						bd[(p+2)*ldb+jb:(p+2)*ldb+je], bd[(p+3)*ldb+jb:(p+3)*ldb+je])
+				}
+				for p := tlo; p < ke; p++ {
+					av := pd[base+4*k4+(p-k4)*4+r]
+					if av == 0 {
+						continue
+					}
+					saxpyf(crow, av, bd[p*ldb+jb:p*ldb+je])
+				}
+			}
+		}
+	}
+}
+
+// gemmPackedMicro is the device backend's GEMM over packed panels: the
+// same blocking as gemmAxpyPacked, but full packMR row blocks x 16-column
+// tiles run in the register-blocked packTile4x16AVX micro-kernel, which
+// holds the whole 4x16 C tile in eight ymm accumulators for an entire
+// gemmKC panel. The axpy forms stream each C row from memory once per
+// k-quad; the micro-kernel touches C once per panel and amortises every B
+// load over four rows, which is where the batched teacher's ≥2x win over
+// the per-frame loop comes from. Column spans narrower than a tile and a
+// ragged final row block fall back to gemmAxpyPackedSpan; when the
+// micro-kernel is unavailable (non-amd64, no AVX2+FMA, SHADOWTUTOR_NOAVX)
+// the whole call degrades to gemmAxpyPacked and results are bitwise
+// identical to the vec batched path.
+func gemmPackedMicro(cd, pd, bd []float32, m, n, k int, accumulate bool) {
+	gemmPackedMicroSub(cd, pd, bd, m, n, n, n, k, accumulate)
+}
+
+// gemmPackedMicroSub is gemmPackedMicro over a column sub-range: ncols
+// columns starting at cd (row stride ldc) multiplied from the B panel at
+// bd (row stride ldb). The device backend's sample-grouped convolutions
+// use it to write one sample group's column window of the full CNHW
+// output from a small cache-resident lowering panel.
+func gemmPackedMicroSub(cd, pd, bd []float32, m, ncols, ldc, ldb, k int, accumulate bool) {
+	if !accumulate && k == 0 {
+		clearRows(cd, m, ncols, ldc)
+		return
+	}
+	if k == 0 || m == 0 || ncols == 0 {
+		return
+	}
+	nb := (m + packMR - 1) / packMR
+	if Workers() <= 1 || nb < 2*packBlockGrain {
+		if packMicroOK {
+			gemmPackedMicroRange(cd, pd, bd, m, ncols, ldc, ldb, k, accumulate, 0, nb)
+		} else {
+			gemmAxpyPackedRange(cd, pd, bd, m, ncols, ldc, ldb, k, accumulate, 0, nb)
+		}
+		return
+	}
+	if packMicroOK {
+		Parallel(nb, packBlockGrain, func(lo, hi int) {
+			gemmPackedMicroRange(cd, pd, bd, m, ncols, ldc, ldb, k, accumulate, lo, hi)
+		})
+		return
+	}
+	Parallel(nb, packBlockGrain, func(lo, hi int) {
+		gemmAxpyPackedRange(cd, pd, bd, m, ncols, ldc, ldb, k, accumulate, lo, hi)
+	})
+}
+
+// clearRows zeroes an ncols-wide column window of m rows with stride ldc.
+func clearRows(cd []float32, m, ncols, ldc int) {
+	if ncols == ldc {
+		clear(cd[:m*ldc])
+		return
+	}
+	for i := 0; i < m; i++ {
+		clear(cd[i*ldc : i*ldc+ncols])
+	}
+}
+
+// gemmPackedMicroRange runs gemmPackedMicro over row blocks [blo, bhi).
+// Only full 4-row blocks enter the micro-kernel (the packed layout
+// zero-pads ragged blocks, but the kernel would then write lanes past row
+// m-1 of C); the ragged block, if this range owns it, runs the axpy span.
+// kcMicro and ncMicro are the reduction and column panels of the
+// micro-kernel path. A kcMicro x ncMicro B panel is 240 KiB — sized to
+// stay resident in a 256 KiB L2 while EVERY row block streams against it,
+// so B pays one trip from outer memory per panel instead of one per row
+// block (the difference between ~45 and ~65 GFLOP/s on a single
+// Haswell-class core, whose L3 cannot feed the kernel). kcMicro is larger
+// than the axpy forms' gemmKC because each reduction panel costs one extra
+// load+store round trip of the C tile, and the C window here (4 x ncMicro
+// per tile pass) is small enough that fewer, deeper panels win.
+const kcMicro = 512
+
+const ncMicro = 120
+
+func gemmPackedMicroRange(cd, pd, bd []float32, m, ncols, ldc, ldb, k int, accumulate bool, blo, bhi int) {
+	k4 := k &^ 3
+	bs := packedBlockStride(k)
+	fullB := m >> 2
+	bhiFull := bhi
+	if bhiFull > fullB {
+		bhiFull = fullB
+	}
+	for jb := 0; jb < ncols; jb += ncMicro {
+		je := jb + ncMicro
+		if je > ncols {
+			je = ncols
+		}
+		// Tile 24 columns wide while they last, one 16-wide tile if 16..23
+		// columns remain, and an axpy span for any 1..15-column tail.
+		// ncMicro is a multiple of 24, so only the final ragged block of an
+		// odd-width C ever leaves the 24-wide kernel.
+		jt24 := jb + (je-jb)/24*24
+		jtEnd := jt24
+		if je-jt24 >= 16 {
+			jtEnd = jt24 + 16
+		}
+		for kb := 0; kb < k; kb += kcMicro {
+			ke := kb + kcMicro
+			if ke > k {
+				ke = k
+			}
+			qhi := ke
+			if qhi > k4 {
+				qhi = k4
+			}
+			nq := (qhi - kb) / 4
+			nt := ke - qhi
+			load := accumulate || kb > 0
+			for ib := blo; ib < bhiFull; ib++ {
+				// The block's coefficients for panel [kb, ke) start 4*kb
+				// floats in: quads are 16 floats each (4*4kb/4) and the
+				// k%4 tail follows the quads contiguously at 4 floats per
+				// position, so the kernel walks one pointer through both.
+				ap := pd[ib*bs+4*kb:]
+				i0 := ib * packMR
+				for jt := jb; jt < jt24; jt += 24 {
+					packTile24f(cd[i0*ldc+jt:], ldc, ap, bd[kb*ldb+jt:], ldb, nq, nt, load)
+				}
+				if jtEnd > jt24 {
+					packTilef(cd[i0*ldc+jt24:], ldc, ap, bd[kb*ldb+jt24:], ldb, nq, nt, load)
+				}
+			}
+		}
+		if jtEnd < je {
+			gemmAxpyPackedSpan(cd, pd, bd, m, ldc, ldb, k, accumulate, blo, bhiFull, jtEnd, je)
+		}
+		if blo <= fullB && bhi > fullB {
+			gemmAxpyPackedSpan(cd, pd, bd, m, ldc, ldb, k, accumulate, fullB, bhi, jb, je)
+		}
+	}
+}
+
+// im2colPlaneT writes one sample's segment of a transposed-im2col row: for
+// one channel plane ([h*w]) and kernel offset (ky, kx), seg[oy*ow+ox] =
+// plane[iy*w+ix] with zero padding. With stride 1 each output row is one
+// contiguous copy with the padded edges cleared; otherwise a per-element
+// gather. Shared by the per-sample and batched lowerings so their values
+// are identical by construction.
+func im2colPlaneT(seg, plane []float32, h, w int, s ConvSpec, oh, ow, ky, kx int) {
+	if s.SW == 1 && s.SH == 1 && ow == w {
+		// Same-width stride-1 plane (the 3x3/3x1/1x3 pad-same layers):
+		// every valid output row is the matching input row shifted by a
+		// constant, and consecutive rows are contiguous in both buffers,
+		// so the whole valid region is ONE copy — instead of oh tiny
+		// per-row memmoves whose call overhead dominates at small ow —
+		// followed by scalar clears of the out-of-image columns.
+		off := kx - s.PW // ix = ox + off
+		lo, hi := 0, ow
+		if -off > lo {
+			lo = -off
+		}
+		if w-off < hi {
+			hi = w - off
+		}
+		if hi < lo {
+			hi = lo
+		}
+		oylo := s.PH - ky // first oy with iy = oy - (PH - ky) in range
+		if oylo < 0 {
+			oylo = 0
+		}
+		oyhi := h + s.PH - ky
+		if oyhi > oh {
+			oyhi = oh
+		}
+		if oyhi < oylo {
+			oyhi = oylo
+		}
+		clear(seg[:oylo*ow])
+		clear(seg[oyhi*ow : oh*ow])
+		if oylo < oyhi {
+			iy0 := oylo - s.PH + ky
+			copy(seg[oylo*ow+lo:(oyhi-1)*ow+hi], plane[iy0*w+off+lo:])
+			if lo > 0 || hi < ow {
+				for oy := oylo; oy < oyhi; oy++ {
+					row := seg[oy*ow : (oy+1)*ow]
+					for j := 0; j < lo; j++ {
+						row[j] = 0
+					}
+					for j := hi; j < ow; j++ {
+						row[j] = 0
+					}
+				}
+			}
+		}
+		return
+	}
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*s.SH - s.PH + ky
+		drow := seg[oy*ow : (oy+1)*ow]
+		if iy < 0 || iy >= h {
+			clear(drow)
+			continue
+		}
+		src := iy * w
+		if s.SW == 1 {
+			off := kx - s.PW // ix = ox + off
+			lo, hi := 0, ow
+			if -off > lo {
+				lo = -off
+			}
+			if w-off < hi {
+				hi = w - off
+			}
+			if hi < lo {
+				hi = lo
+			}
+			clear(drow[:lo])
+			copy(drow[lo:hi], plane[src+off+lo:src+off+hi])
+			clear(drow[hi:])
+			continue
+		}
+		for ox := 0; ox < ow; ox++ {
+			ix := ox*s.SW - s.PW + kx
+			if ix < 0 || ix >= w {
+				drow[ox] = 0
+			} else {
+				drow[ox] = plane[src+ix]
+			}
+		}
+	}
+}
+
+// batchIm2colT lowers N same-shape CHW samples into the batched transposed
+// im2col layout dd[((ch*KH+ky)*KW+kx)*N*hw + i*hw + oy*ow + ox]: each row p
+// holds sample-major blocks of that sample's per-sample im2col row, so the
+// batched GEMM's output columns come out grouped by sample — the CNHW
+// layout.
+func batchIm2colT(dd []float32, xs []*Tensor, s ConvSpec, oh, ow int) {
+	c := xs[0].Dim(0)
+	kk := s.KH * s.KW
+	if Workers() <= 1 || c*kk < 2 {
+		batchIm2colTRange(dd, xs, s, oh, ow, 0, c*kk)
+		return
+	}
+	Parallel(c*kk, 1, func(plo, phi int) {
+		batchIm2colTRange(dd, xs, s, oh, ow, plo, phi)
+	})
+}
+
+func batchIm2colTRange(dd []float32, xs []*Tensor, s ConvSpec, oh, ow, plo, phi int) {
+	h, w := xs[0].Dim(1), xs[0].Dim(2)
+	kk := s.KH * s.KW
+	hw := oh * ow
+	nb := len(xs)
+	for p := plo; p < phi; p++ {
+		ch, r := p/kk, p%kk
+		ky, kx := r/s.KW, r%s.KW
+		for i, x := range xs {
+			seg := dd[(p*nb+i)*hw : (p*nb+i+1)*hw]
+			im2colPlaneT(seg, x.Data[ch*h*w:(ch+1)*h*w], h, w, s, oh, ow, ky, kx)
+		}
+	}
+}
+
+// batchIm2colTCNHW is batchIm2colT for an already-batched [C, N, H, W]
+// activation: the (ch, i) plane is a contiguous slice of x.
+func batchIm2colTCNHW(dd []float32, x *Tensor, s ConvSpec, oh, ow int) {
+	batchIm2colTCNHWGroup(dd, x, s, oh, ow, 0, x.Dim(1))
+}
+
+// batchIm2colTCNHWGroup lowers only samples [i0, i1) of a CNHW activation,
+// producing the compact (i1-i0)-sample im2col matrix. The device backend's
+// sample-grouped convolutions use it to keep the lowering scratch
+// cache-resident however large the batch is.
+func batchIm2colTCNHWGroup(dd []float32, x *Tensor, s ConvSpec, oh, ow, i0, i1 int) {
+	c, kk := x.Dim(0), s.KH*s.KW
+	if Workers() <= 1 || c*kk < 2 {
+		batchIm2colTCNHWRange(dd, x, s, oh, ow, i0, i1, 0, c*kk)
+		return
+	}
+	Parallel(c*kk, 1, func(plo, phi int) {
+		batchIm2colTCNHWRange(dd, x, s, oh, ow, i0, i1, plo, phi)
+	})
+}
+
+func batchIm2colTCNHWRange(dd []float32, x *Tensor, s ConvSpec, oh, ow, i0, i1, plo, phi int) {
+	nb, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
+	kk := s.KH * s.KW
+	hw := oh * ow
+	g := i1 - i0
+	xd := x.Data
+	for p := plo; p < phi; p++ {
+		ch, r := p/kk, p%kk
+		ky, kx := r/s.KW, r%s.KW
+		for i := i0; i < i1; i++ {
+			seg := dd[(p*g+i-i0)*hw : (p*g+i-i0+1)*hw]
+			plane := xd[(ch*nb+i)*h*w : (ch*nb+i+1)*h*w]
+			im2colPlaneT(seg, plane, h, w, s, oh, ow, ky, kx)
+		}
+	}
+}
+
+// conv1x1Direct reports whether a spec degenerates to a pure channel mixing
+// (1x1 kernel, stride 1, no padding), in which case a CNHW activation
+// viewed as [C, N*H*W] already is its im2col matrix and the lowering copy
+// can be skipped entirely.
+func conv1x1Direct(s ConvSpec) bool {
+	return s.KH == 1 && s.KW == 1 && s.SH == 1 && s.SW == 1 && s.PH == 0 && s.PW == 0
+}
+
+// convBatchGemm runs the GEMM stage of a batched convolution: lease the
+// [OC, N, OH, OW] result, prefill bias into each channel row (matching the
+// per-sample vec forward's bias-then-accumulate order bitwise) and run the
+// packed GEMM over the lowered columns. micro selects the register-blocked
+// micro-kernel (the device backend) over the bitwise-with-vec axpy forms.
+func convBatchGemm(ws *Workspace, pd, cols []float32, b *Tensor, oc, nb, oh, ow, ckk int, micro bool) *Tensor {
+	nhw := nb * oh * ow
+	res := ws.GetDirty(oc, nb, oh, ow)
+	rd := res.Data
+	gemm := gemmAxpyPacked
+	if micro {
+		gemm = gemmPackedMicro
+	}
+	if b != nil {
+		biasPrefill(rd, b.Data, oc, nhw)
+		gemm(rd, pd, cols, oc, nhw, ckk, true)
+	} else {
+		gemm(rd, pd, cols, oc, nhw, ckk, false)
+	}
+	return res
+}
+
+// biasPrefill writes bias value bd[ch] across channel row ch of rd,
+// matching the per-sample vec forward's bias-then-accumulate order.
+func biasPrefill(rd, bd []float32, oc, nhw int) {
+	for ch := 0; ch < oc; ch++ {
+		row := rd[ch*nhw : (ch+1)*nhw]
+		v := bd[ch]
+		for i := range row {
+			row[i] = v
+		}
+	}
+}
+
+// packGemm packs w into a workspace-leased scratch buffer (no retained
+// state — the vec backend stays stateless) and runs convBatchGemm.
+func packGemm(ws *Workspace, cols []float32, w, b *Tensor, nb, oh, ow, ckk int) *Tensor {
+	oc := w.Dim(0)
+	pbuf := ws.GetDirty(packedSize(oc, ckk))
+	packWeightsInto(pbuf.Data, w.Data, oc, ckk)
+	res := convBatchGemm(ws, pbuf.Data, cols, b, oc, nb, oh, ow, ckk, false)
+	ws.Put(pbuf)
+	return res
+}
+
+// Conv2DBatchWS implements BatchBackend for the vec backend: one fused
+// lowering + packed GEMM over all samples, packing the weights per call
+// into workspace scratch.
+func (vecBackend) Conv2DBatchWS(ws *Workspace, xs []*Tensor, w, b *Tensor, s ConvSpec) *Tensor {
+	nb := len(xs)
+	c, h, wid := xs[0].Dim(0), xs[0].Dim(1), xs[0].Dim(2)
+	oh, ow := s.OutSize(h, wid)
+	ckk := c * s.KH * s.KW
+	cols := ws.GetDirty(ckk, nb*oh*ow)
+	batchIm2colT(cols.Data, xs, s, oh, ow)
+	res := packGemm(ws, cols.Data, w, b, nb, oh, ow, ckk)
+	ws.Put(cols)
+	return res
+}
+
+// Conv2DBatchCNHWWS implements BatchBackend for the vec backend on an
+// already-batched CNHW activation. 1x1 stride-1 unpadded convolutions skip
+// the lowering and multiply the activation directly.
+func (vecBackend) Conv2DBatchCNHWWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
+	c, nb, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := s.OutSize(h, wid)
+	ckk := c * s.KH * s.KW
+	if conv1x1Direct(s) {
+		return packGemm(ws, x.Data, w, b, nb, oh, ow, ckk)
+	}
+	cols := ws.GetDirty(ckk, nb*oh*ow)
+	batchIm2colTCNHW(cols.Data, x, s, oh, ow)
+	res := packGemm(ws, cols.Data, w, b, nb, oh, ow, ckk)
+	ws.Put(cols)
+	return res
+}
+
+// MatMulBatchInto implements BatchBackend for the vec backend: a batch of
+// row-major A matrices [batch, m, k] against one shared B [k, n] is a
+// single GEMM over batch*m contiguous rows, so one kernel dispatch covers
+// the whole batch. Per-row accumulation is unchanged, so the result is
+// bitwise identical to batch separate MatMulInto calls.
+func (vecBackend) MatMulBatchInto(dst, a, b []float32, batch, m, n, k int, accumulate bool) {
+	vecGemmAxpy(dst, a, b, batch*m, n, k, k, 1, accumulate)
+}
+
+// Conv2DBatchWS lowers N same-shape CHW inputs into one batched
+// convolution, returning a CNHW tensor [OC, N, OH, OW] (see the layout note
+// at the top of this file). Shapes are validated here; backends without
+// BatchBackend are served by a per-sample loop over the backend's own
+// Conv2DWS, so results always match that backend's per-sample forward.
+func Conv2DBatchWS(ws *Workspace, xs []*Tensor, w, b *Tensor, s ConvSpec) *Tensor {
+	if len(xs) == 0 {
+		panic("tensor: Conv2DBatchWS of an empty batch")
+	}
+	x0 := xs[0]
+	for _, x := range xs[1:] {
+		if !x.SameShape(x0) {
+			panic(fmt.Sprintf("tensor: Conv2DBatchWS shape mismatch %v vs %v", x.Shape(), x0.Shape()))
+		}
+	}
+	checkConvBatchArgs("Conv2DBatchWS", x0.Dim(0), w, b, s)
+	if bb, ok := ws.Backend().(BatchBackend); ok {
+		return bb.Conv2DBatchWS(ws, xs, w, b, s)
+	}
+	return conv2DBatchLoopWS(ws, xs, w, b, s)
+}
+
+// Conv2DBatchCNHWWS applies a batched convolution to an already-batched
+// [C, N, H, W] activation, returning [OC, N, OH, OW]. Backends without
+// BatchBackend are served by a gather / per-sample conv / scatter loop.
+func Conv2DBatchCNHWWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2DBatchCNHWWS requires a CNHW input, got %v", x.Shape()))
+	}
+	checkConvBatchArgs("Conv2DBatchCNHWWS", x.Dim(0), w, b, s)
+	if bb, ok := ws.Backend().(BatchBackend); ok {
+		return bb.Conv2DBatchCNHWWS(ws, x, w, b, s)
+	}
+	return conv2DBatchCNHWLoopWS(ws, x, w, b, s)
+}
+
+// MatMulBatchInto multiplies a batch of A matrices (contiguous row-major
+// [batch, m, k]) against one shared B [k, n] into dst [batch, m, n] through
+// the workspace's backend, falling back to per-matrix MatMulInto calls for
+// backends without BatchBackend.
+func MatMulBatchInto(ws *Workspace, dst, a, b []float32, batch, m, n, k int, accumulate bool) {
+	bk := ws.Backend()
+	if bb, ok := bk.(BatchBackend); ok {
+		bb.MatMulBatchInto(dst, a, b, batch, m, n, k, accumulate)
+		return
+	}
+	for i := 0; i < batch; i++ {
+		bk.MatMulInto(dst[i*m*n:(i+1)*m*n], a[i*m*k:(i+1)*m*k], b, m, n, k, accumulate)
+	}
+}
+
+func checkConvBatchArgs(op string, c int, w, b *Tensor, s ConvSpec) {
+	oc := w.Dim(0)
+	if w.Dim(1) != c || w.Dim(2) != s.KH || w.Dim(3) != s.KW {
+		panic(fmt.Sprintf("tensor: %s weight %v incompatible with %d input channels spec %+v", op, w.Shape(), c, s))
+	}
+	if b != nil && b.Len() != oc {
+		panic(fmt.Sprintf("tensor: %s bias len %d != out channels %d", op, b.Len(), oc))
+	}
+}
+
+// scatterSampleCNHW copies a per-sample [C, hw] result into sample slot i
+// of a CNHW destination [C, nb, hw].
+func scatterSampleCNHW(dst, src []float32, c, nb, i, hw int) {
+	for ch := 0; ch < c; ch++ {
+		copy(dst[(ch*nb+i)*hw:(ch*nb+i+1)*hw], src[ch*hw:(ch+1)*hw])
+	}
+}
+
+// gatherSampleCNHW extracts sample i of a CNHW source [C, nb, hw] into a
+// contiguous per-sample [C, hw] buffer.
+func gatherSampleCNHW(dst, src []float32, c, nb, i, hw int) {
+	for ch := 0; ch < c; ch++ {
+		copy(dst[ch*hw:(ch+1)*hw], src[(ch*nb+i)*hw:(ch*nb+i+1)*hw])
+	}
+}
+
+// conv2DBatchLoopWS is the per-sample fallback for backends without
+// BatchBackend: each sample runs the backend's own Conv2DWS and the result
+// is copied into its CNHW slot.
+func conv2DBatchLoopWS(ws *Workspace, xs []*Tensor, w, b *Tensor, s ConvSpec) *Tensor {
+	nb := len(xs)
+	oc := w.Dim(0)
+	h, wid := xs[0].Dim(1), xs[0].Dim(2)
+	oh, ow := s.OutSize(h, wid)
+	hw := oh * ow
+	res := ws.GetDirty(oc, nb, oh, ow)
+	for i, x := range xs {
+		y := Conv2DWS(ws, x, w, b, s)
+		scatterSampleCNHW(res.Data, y.Data, oc, nb, i, hw)
+		ws.Put(y)
+	}
+	return res
+}
+
+// conv2DBatchCNHWLoopWS is the CNHW-input fallback: gather each sample into
+// a contiguous CHW scratch, convolve it with the backend's Conv2DWS, and
+// scatter the result back.
+func conv2DBatchCNHWLoopWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
+	c, nb, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oc := w.Dim(0)
+	oh, ow := s.OutSize(h, wid)
+	hw := oh * ow
+	res := ws.GetDirty(oc, nb, oh, ow)
+	sample := ws.GetDirty(c, h, wid)
+	for i := 0; i < nb; i++ {
+		gatherSampleCNHW(sample.Data, x.Data, c, nb, i, h*wid)
+		y := Conv2DWS(ws, sample, w, b, s)
+		scatterSampleCNHW(res.Data, y.Data, oc, nb, i, hw)
+		ws.Put(y)
+	}
+	ws.Put(sample)
+	return res
+}
+
+// Conv2DBatchWS implements BatchBackend for the reference backend as the
+// documented loop/copy semantics: per-sample reference convolutions
+// scattered into the CNHW layout. Values are identical to the per-sample
+// reference forward by construction.
+func (refBackend) Conv2DBatchWS(ws *Workspace, xs []*Tensor, w, b *Tensor, s ConvSpec) *Tensor {
+	return conv2DBatchLoopWS(ws, xs, w, b, s)
+}
+
+// Conv2DBatchCNHWWS implements BatchBackend for the reference backend via
+// the gather/conv/scatter loop.
+func (refBackend) Conv2DBatchCNHWWS(ws *Workspace, x, w, b *Tensor, s ConvSpec) *Tensor {
+	return conv2DBatchCNHWLoopWS(ws, x, w, b, s)
+}
+
+// MatMulBatchInto implements BatchBackend for the reference backend as a
+// per-matrix loop over the scalar GEMM.
+func (refBackend) MatMulBatchInto(dst, a, b []float32, batch, m, n, k int, accumulate bool) {
+	for i := 0; i < batch; i++ {
+		gemmAxpy(dst[i*m*n:(i+1)*m*n], a[i*m*k:(i+1)*m*k], b, m, n, k, k, 1, accumulate)
+	}
+}

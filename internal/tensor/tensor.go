@@ -14,7 +14,24 @@ import (
 type Tensor struct {
 	Data  []float32
 	shape []int
+
+	// version counts in-place bulk mutations of Data that invalidate
+	// derived caches (packed weight panels held by the device backend).
+	// It is bumped explicitly — by the optimizers after a parameter step —
+	// not by every Set call: versioning exists for long-lived weight
+	// tensors, whose mutation points are few and well known. Access is not
+	// synchronised; a tensor's owner bumps it, and readers that race with
+	// the owner are already violating the single-owner rule.
+	version uint64
 }
+
+// Version returns the tensor's mutation version (see BumpVersion).
+func (t *Tensor) Version() uint64 { return t.version }
+
+// BumpVersion marks t's data as mutated, invalidating any packed layouts
+// derived from a previous version. Clones and reshaped views start at
+// version 0; identity (pointer) plus version is the cache key.
+func (t *Tensor) BumpVersion() { t.version++ }
 
 // New returns a zero-filled tensor with the given shape.
 func New(shape ...int) *Tensor {
@@ -145,12 +162,16 @@ func (t *Tensor) Zero() {
 	clear(t.Data)
 }
 
-// CopyFrom copies u's data into t. Shapes must match.
+// CopyFrom copies u's data into t. Shapes must match. The copy is a bulk
+// in-place overwrite (checkpoint restore, snapshot apply), so it bumps t's
+// version: resident packed panels keyed to the old contents must not be
+// served for the new ones.
 func (t *Tensor) CopyFrom(u *Tensor) {
 	if !t.SameShape(u) {
 		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, u.shape))
 	}
 	copy(t.Data, u.Data)
+	t.version++
 }
 
 // String renders a short description (shape plus a data prefix).

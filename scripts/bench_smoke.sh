@@ -5,7 +5,7 @@
 # Usage:
 #   bench_smoke.sh [output.json]
 #
-# The output path defaults to $BENCH_JSON, then BENCH_pr9.json. Scenario
+# The output path defaults to $BENCH_JSON, then BENCH_pr10.json. Scenario
 # selection comes from $SCENARIOS (comma-separated names/globs; default is
 # the CI regression-gate matrix, including the fleet/* sharded-fabric and
 # backend/* compute-backend families). CI compares the output against the committed baseline with
@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-${BENCH_JSON:-BENCH_pr9.json}}"
+OUT="${1:-${BENCH_JSON:-BENCH_pr10.json}}"
 SCENARIOS="${SCENARIOS:-bandwidth-sweep/*,multiclient/c1,alloc/distill-step,compression/diff-codecs,chaos/drop-midstream,fleet/*,backend/*,loss/*}"
 
 echo "== scenario smoke (${SCENARIOS}) -> ${OUT} =="
